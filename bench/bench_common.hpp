@@ -1,0 +1,93 @@
+// Shared harness for the figure/table reproduction binaries.
+//
+// Each bench binary regenerates one table or figure of the paper's
+// evaluation (see DESIGN.md §4) and prints a markdown table to stdout:
+// series name, parameters, and the measured values. Absolute numbers
+// come from the virtual machine models; the *shape* (who wins, by how
+// much, where methods fail) is the reproduction target. EXPERIMENTS.md
+// records paper-vs-measured for every row.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/policies.hpp"
+#include "baselines/superneurons.hpp"
+#include "common/units.hpp"
+#include "graph/autodiff.hpp"
+#include "graph/liveness.hpp"
+#include "models/models.hpp"
+#include "pooch/pipeline.hpp"
+
+namespace pooch::bench {
+
+struct Workload {
+  graph::Graph g;
+  std::vector<graph::BwdStep> tape;
+  cost::MachineConfig machine;
+  sim::CostTimeModel tm;
+  sim::Runtime rt;
+
+  Workload(graph::Graph graph, const cost::MachineConfig& m)
+      : g(std::move(graph)),
+        tape(graph::build_backward_tape(g)),
+        machine(m),
+        tm(g, machine),
+        rt(g, tape, machine, tm) {}
+};
+
+struct MethodResult {
+  bool ok = false;
+  double iteration_time = 0.0;
+  double throughput = 0.0;  // images/s
+  std::array<int, 3> counts{0, 0, 0};
+};
+
+inline MethodResult run_in_core(const Workload& w, std::int64_t batch) {
+  const auto r = w.rt.run(sim::Classification(w.g, sim::ValueClass::kKeep));
+  return {r.ok, r.iteration_time, r.ok ? r.throughput(batch) : 0.0, {}};
+}
+
+inline MethodResult run_swap_all(const Workload& w, std::int64_t batch,
+                                 bool scheduled) {
+  const auto opts = scheduled ? baselines::swap_all_scheduled_options()
+                              : baselines::swap_all_naive_options();
+  const auto r =
+      w.rt.run(sim::Classification(w.g, sim::ValueClass::kSwap), opts);
+  return {r.ok, r.iteration_time, r.ok ? r.throughput(batch) : 0.0, {}};
+}
+
+inline MethodResult run_superneurons(const Workload& w, std::int64_t batch) {
+  const auto plan =
+      baselines::superneurons_plan(w.g, w.tape, w.machine, w.tm);
+  const auto r =
+      w.rt.run(plan.classes, baselines::superneurons_run_options());
+  return {r.ok, r.iteration_time, r.ok ? r.throughput(batch) : 0.0,
+          plan.counts};
+}
+
+inline MethodResult run_pooch_method(const Workload& w, std::int64_t batch,
+                                     planner::PlannerResult* plan_out = nullptr,
+                                     bool swap_opt_only = false) {
+  planner::PipelineOptions po;
+  if (swap_opt_only) po.planner.enable_recompute = false;
+  const auto out = planner::run_pooch(w.g, w.tape, w.machine, w.tm, po);
+  if (plan_out) *plan_out = out.plan;
+  return {out.ok, out.iteration_time, out.throughput(batch), out.plan.counts};
+}
+
+inline std::string fmt(double v, int digits = 1) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+inline std::string cell(const MethodResult& r, int digits = 0) {
+  return r.ok ? fmt(r.throughput, digits) : std::string("OOM");
+}
+
+inline void print_header(const char* title, const char* columns) {
+  std::printf("\n## %s\n\n%s\n", title, columns);
+}
+
+}  // namespace pooch::bench

@@ -1,0 +1,19 @@
+// Figure 3: in-core memory usage of ResNet-50 vs batch size.
+// Paper shape: linear growth, >16 GB before batch 256, >50 GB at 640.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pooch;
+  bench::print_header("Figure 3 — ResNet-50 memory usage vs batch size",
+                      "| batch | peak memory (GiB) | fits V100-16GB? |\n"
+                      "|---|---|---|");
+  for (std::int64_t batch : {32, 64, 128, 192, 256, 320, 384, 448, 512, 576,
+                             640}) {
+    const auto g = models::resnet50(batch);
+    const std::size_t peak = graph::incore_peak_bytes(g);
+    std::printf("| %ld | %s | %s |\n", static_cast<long>(batch),
+                bench::fmt(bytes_to_gib(peak), 2).c_str(),
+                peak <= 16 * kGiB ? "yes" : "no");
+  }
+  return 0;
+}

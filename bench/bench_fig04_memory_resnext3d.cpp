@@ -1,0 +1,27 @@
+// Figure 4: in-core memory usage of ResNeXt-101 (3D) vs input size at
+// batch 1. Paper shape: linear in input volume, far beyond 16 GB at the
+// largest inputs.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pooch;
+  bench::print_header(
+      "Figure 4 — ResNeXt-101 (3D) memory usage vs input size (batch 1)",
+      "| frames | image | input (MiB) | peak memory (GiB) | fits 16GB? |\n"
+      "|---|---|---|---|---|");
+  const std::int64_t sweeps[][2] = {{16, 112}, {32, 112}, {16, 224},
+                                    {32, 224}, {64, 224}, {64, 312},
+                                    {96, 384}, {128, 384}};
+  for (const auto& s : sweeps) {
+    const auto g = models::resnext101_3d(1, s[0], s[1]);
+    const std::size_t input_bytes =
+        static_cast<std::size_t>(3 * s[0] * s[1] * s[1]) * 4;
+    const std::size_t peak = graph::incore_peak_bytes(g);
+    std::printf("| %ld | %ld | %s | %s | %s |\n", static_cast<long>(s[0]),
+                static_cast<long>(s[1]),
+                bench::fmt(bytes_to_mib(input_bytes), 1).c_str(),
+                bench::fmt(bytes_to_gib(peak), 2).c_str(),
+                peak <= 16 * kGiB ? "yes" : "no");
+  }
+  return 0;
+}

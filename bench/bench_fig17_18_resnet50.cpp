@@ -1,0 +1,64 @@
+// Figures 17 and 18: ResNet-50 throughput vs batch size for in-core,
+// superneurons and PoocH, on both machines; plus the §5.2 cross-
+// environment experiment (running x86 with the classification optimized
+// for POWER9).
+// Paper shape: in-core flat until it OOMs past batch ~192; PoocH always
+// completes (including the ~50 GB batch-640 case) and dominates or
+// matches superneurons; on POWER9 degradation nearly vanishes.
+#include "bench_common.hpp"
+
+using namespace pooch;
+
+namespace {
+
+void figure(const char* fig, const cost::MachineConfig& machine,
+            std::vector<planner::PlannerResult>* saved_plans,
+            const std::vector<planner::PlannerResult>* foreign_plans) {
+  std::printf("\n## %s — ResNet-50 throughput [img/s] on %s\n\n", fig,
+              machine.name.c_str());
+  std::printf("| batch | in-core | superneurons | PoocH |%s\n",
+              foreign_plans ? " PoocH (foreign plan) |" : "");
+  std::printf("|---|---|---|---|%s\n", foreign_plans ? "---|" : "");
+
+  const std::int64_t batches[] = {64, 128, 192, 256, 320, 384, 448, 512,
+                                  576, 640};
+  int idx = 0;
+  for (std::int64_t batch : batches) {
+    bench::Workload w(models::resnet50(batch), machine);
+    const auto incore = bench::run_in_core(w, batch);
+    const auto sn = bench::run_superneurons(w, batch);
+    planner::PlannerResult plan;
+    const auto pooch = bench::run_pooch_method(w, batch, &plan);
+    if (saved_plans) saved_plans->push_back(plan);
+
+    std::string foreign_cell;
+    if (foreign_plans) {
+      // §5.2: execute the classification optimized for the OTHER machine.
+      const auto& fp = (*foreign_plans)[static_cast<std::size_t>(idx)];
+      if (fp.feasible) {
+        const auto fr = planner::execute_plan(w.rt, fp);
+        foreign_cell = " " + (fr.ok ? bench::fmt(batch / fr.iteration_time, 0)
+                                    : std::string("OOM")) +
+                       " |";
+      } else {
+        foreign_cell = " n/a |";
+      }
+    }
+    std::printf("| %ld | %s | %s | %s |%s\n", static_cast<long>(batch),
+                bench::cell(incore).c_str(), bench::cell(sn).c_str(),
+                bench::cell(pooch).c_str(), foreign_cell.c_str());
+    ++idx;
+  }
+}
+
+}  // namespace
+
+int main() {
+  // POWER9 first so its plans can be replayed on x86 (the paper's
+  // cross-environment experiment appears in Figure 17).
+  std::vector<planner::PlannerResult> p9_plans;
+  figure("Figure 18", cost::power9_nvlink(), &p9_plans, nullptr);
+  figure("Figure 17 (+ cross-environment column)", cost::x86_pcie(), nullptr,
+         &p9_plans);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figures 19 and 20: AlexNet throughput vs batch size on both machines.
+// Paper shape: PoocH within 6.1% of in-core even out of core (heavy
+// compute per feature map hides the transfers); superneurons close too.
+#include "bench_common.hpp"
+
+using namespace pooch;
+
+namespace {
+
+void figure(const char* fig, const cost::MachineConfig& machine) {
+  std::printf("\n## %s — AlexNet throughput [img/s] on %s\n\n", fig,
+              machine.name.c_str());
+  std::printf("| batch | in-core | superneurons | PoocH |\n|---|---|---|---|\n");
+  for (std::int64_t batch : {512, 1024, 2048, 3072, 4096, 5120}) {
+    bench::Workload w(models::alexnet(batch), machine);
+    const auto incore = bench::run_in_core(w, batch);
+    const auto sn = bench::run_superneurons(w, batch);
+    const auto pooch = bench::run_pooch_method(w, batch);
+    std::printf("| %ld | %s | %s | %s |\n", static_cast<long>(batch),
+                bench::cell(incore).c_str(), bench::cell(sn).c_str(),
+                bench::cell(pooch).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  figure("Figure 19", cost::x86_pcie());
+  figure("Figure 20", cost::power9_nvlink());
+  return 0;
+}

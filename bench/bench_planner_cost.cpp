@@ -1,0 +1,38 @@
+// §5.2 planner-cost claim: "profiling and optimization ... was about 2
+// minutes even for resnext101 with >300 layers", amortized over training.
+// Measures the real wall-clock of the PoocH search per model and the
+// number of timeline simulations it runs.
+#include "bench_common.hpp"
+
+using namespace pooch;
+
+namespace {
+
+void row(const char* name, graph::Graph g,
+         const cost::MachineConfig& machine) {
+  bench::Workload w(std::move(g), machine);
+  planner::PoochPlanner planner(w.g, w.tape, w.machine, w.tm);
+  const auto plan = planner.plan();
+  std::printf("| %s | %d | %zu | %d | %s | %s |\n", name, w.g.num_nodes(),
+              sim::classifiable_values(w.g, w.tape).size(), plan.simulations,
+              bench::fmt(plan.planning_wall_seconds, 2).c_str(),
+              plan.feasible ? (plan.used_beam_fallback ? "beam" : "exact")
+                            : "infeasible");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n## Planner cost (paper: ~2 min for ResNeXt-101, amortized)\n\n");
+  std::printf("| model | layers | feature maps | simulations | wall time "
+              "(s) | search |\n|---|---|---|---|---|---|\n");
+  const auto x86 = cost::x86_pcie();
+  row("paper-example (b16)", models::paper_example(16, 56, 64),
+      cost::test_machine(96));
+  row("AlexNet (b4096)", models::alexnet(4096), x86);
+  row("ResNet-18 (b512)", models::resnet18(512), x86);
+  row("ResNet-50 (b256)", models::resnet50(256), x86);
+  row("ResNet-50 (b640)", models::resnet50(640), x86);
+  row("ResNeXt-101 3D (96x384)", models::resnext101_3d(1, 96, 384), x86);
+  return 0;
+}

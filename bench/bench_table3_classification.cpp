@@ -1,0 +1,33 @@
+// Table 3: the number of feature maps classified keep / swap / recompute
+// for ResNet-50 by PoocH and superneurons on both machines.
+// Paper shape: PoocH picks more `recompute` on the PCIe machine than on
+// the NVLink machine; superneurons' static classification is identical
+// on both. (The paper uses batch 512; with this substrate's in-place
+// elementwise gradients the same pressure point sits at batch 640, so
+// both are printed.)
+#include "bench_common.hpp"
+
+using namespace pooch;
+
+int main() {
+  std::printf("\n## Table 3 — ResNet-50 feature-map classification\n\n");
+  std::printf("| batch | method | machine | #keep | #swap | #recompute |\n"
+              "|---|---|---|---|---|---|\n");
+  for (std::int64_t batch : {512, 640}) {
+    for (const auto& machine : {cost::x86_pcie(), cost::power9_nvlink()}) {
+      bench::Workload w(models::resnet50(batch), machine);
+      planner::PlannerResult plan;
+      const auto pooch = bench::run_pooch_method(w, batch, &plan);
+      std::printf("| %ld | PoocH | %s | %d | %d | %d |%s\n",
+                  static_cast<long>(batch), machine.name.c_str(),
+                  plan.counts[0], plan.counts[1], plan.counts[2],
+                  pooch.ok ? "" : "  (execution OOM)");
+      const auto sn =
+          baselines::superneurons_plan(w.g, w.tape, w.machine, w.tm);
+      std::printf("| %ld | superneurons | %s | %d | %d | %d |\n",
+                  static_cast<long>(batch), machine.name.c_str(),
+                  sn.counts[0], sn.counts[1], sn.counts[2]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// The paper's §7 future work, realized: training where the problem size
+// changes every iteration (variable batch — think dynamic sequence
+// lengths or last-batch remainders).
+//
+// Compares three strategies over the same random stream of batch sizes:
+//   1. one plan at the maximum size, everything padded to it;
+//   2. bucketed adaptive planning (plan per bucket, pad to the bucket);
+//   3. replanning from scratch at every distinct size (no padding, but
+//      the planner runs over and over).
+//
+//   build/examples/variable_batch
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "models/models.hpp"
+#include "pooch/adaptive.hpp"
+
+using namespace pooch;
+
+namespace {
+
+struct Outcome {
+  double train_seconds = 0.0;     // simulated training time
+  double planning_seconds = 0.0;  // real planner wall time
+  int plans = 0;
+  double padding = 0.0;
+};
+
+Outcome run_with_buckets(const std::vector<std::int64_t>& buckets,
+                         const std::vector<std::int64_t>& stream,
+                         const cost::MachineConfig& machine) {
+  planner::AdaptiveOptions options;
+  options.bucket_sizes = buckets;
+  planner::AdaptivePlanner adaptive(
+      [](std::int64_t size) { return models::paper_example(size, 56, 64); },
+      machine, options);
+  Outcome out;
+  std::uint64_t it = 0;
+  for (std::int64_t size : stream) {
+    const auto r = adaptive.run_iteration(size, it++);
+    if (!r.ok) {
+      std::printf("  iteration failed: %s\n", r.failure.c_str());
+      return out;
+    }
+    out.train_seconds += r.iteration_time;
+  }
+  out.planning_seconds = adaptive.stats().planning_wall_seconds;
+  out.plans = adaptive.stats().buckets_planned;
+  out.padding = adaptive.stats().padding_overhead();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  auto machine = cost::test_machine(96);
+  machine.link_gbps = 3.0;
+
+  // A stream of 200 iterations with batch sizes 1..16 (skewed small, as
+  // remainder batches are).
+  Rng rng(2024);
+  std::vector<std::int64_t> stream;
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t a = 1 + static_cast<std::int64_t>(rng.below(16));
+    const std::int64_t b = 1 + static_cast<std::int64_t>(rng.below(16));
+    stream.push_back(std::min(a, b));
+  }
+
+  std::printf("200 iterations, batch sizes 1..16, 96 MiB device\n\n");
+  std::printf("| strategy | plans | planning (s) | padding | train time |\n");
+  std::printf("|---|---|---|---|---|\n");
+
+  struct Case {
+    const char* name;
+    std::vector<std::int64_t> buckets;
+  };
+  const Case cases[] = {
+      {"single max-size plan", {16}},
+      {"buckets {4, 8, 16}", {4, 8, 16}},
+      {"buckets {2, 4, ..., 16}", {2, 4, 6, 8, 10, 12, 14, 16}},
+      {"plan per distinct size", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                                  14, 15, 16}},
+  };
+  for (const auto& c : cases) {
+    const Outcome out = run_with_buckets(c.buckets, stream, machine);
+    std::printf("| %s | %d | %s | %.0f%% | %s |\n", c.name, out.plans,
+                format_fixed(out.planning_seconds, 2).c_str(),
+                out.padding * 100.0, format_time(out.train_seconds).c_str());
+  }
+  std::printf("\nFewer buckets amortize planning but waste compute on "
+              "padding; the sweet spot sits in between.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// The paper's second motivating workload (§1): 3-D CNNs for video,
+// where memory exceeds the GPU even at batch size 1, so data-parallel
+// multi-GPU training cannot help — only out-of-core execution can.
+// Sweeps clip sizes for ResNeXt-101 (3D) on the NVLink machine and shows
+// where in-core dies and how PoocH carries on.
+//
+//   build/examples/video_3dcnn
+#include <cstdio>
+
+#include "graph/autodiff.hpp"
+#include "graph/liveness.hpp"
+#include "models/models.hpp"
+#include "pooch/pipeline.hpp"
+
+using namespace pooch;
+
+int main() {
+  const auto machine = cost::power9_nvlink();
+  std::printf("ResNeXt-101 (3D), batch 1, on %s\n\n", machine.name.c_str());
+  std::printf("%-18s %-12s %-14s %-14s %s\n", "clip (f x HxW)", "mem (GiB)",
+              "in-core", "PoocH", "classification");
+
+  const std::int64_t sweeps[][2] = {{16, 112}, {32, 224}, {64, 312},
+                                    {96, 384}, {128, 384}};
+  for (const auto& s : sweeps) {
+    graph::Graph g = models::resnext101_3d(1, s[0], s[1]);
+    const auto tape = graph::build_backward_tape(g);
+    const sim::CostTimeModel hardware(g, machine);
+    const sim::Runtime runtime(g, tape, machine, hardware);
+
+    const auto incore =
+        runtime.run(sim::Classification(g, sim::ValueClass::kKeep));
+    planner::PipelineOptions options;
+    options.profile.iterations = 1;
+    const auto pooch =
+        planner::run_pooch(g, tape, machine, hardware, options);
+
+    char clip[32], incore_s[32], pooch_s[32], classes[48];
+    std::snprintf(clip, sizeof(clip), "%ldx%ldx%ld", static_cast<long>(s[0]),
+                  static_cast<long>(s[1]), static_cast<long>(s[1]));
+    if (incore.ok) {
+      std::snprintf(incore_s, sizeof(incore_s), "%.2f clip/s",
+                    incore.throughput(1));
+    } else {
+      std::snprintf(incore_s, sizeof(incore_s), "OOM");
+    }
+    if (pooch.ok) {
+      std::snprintf(pooch_s, sizeof(pooch_s), "%.2f clip/s",
+                    pooch.throughput(1));
+      std::snprintf(classes, sizeof(classes), "keep %d / swap %d / rec %d",
+                    pooch.plan.counts[0], pooch.plan.counts[1],
+                    pooch.plan.counts[2]);
+    } else {
+      std::snprintf(pooch_s, sizeof(pooch_s), "OOM");
+      classes[0] = '\0';
+    }
+    std::printf("%-18s %-12.1f %-14s %-14s %s\n", clip,
+                bytes_to_gib(graph::incore_peak_bytes(g)), incore_s, pooch_s,
+                classes);
+  }
+  return 0;
+}

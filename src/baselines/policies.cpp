@@ -1,0 +1,72 @@
+#include "baselines/policies.hpp"
+
+#include <cmath>
+
+#include "graph/autodiff.hpp"
+
+namespace pooch::baselines {
+
+using graph::Graph;
+using graph::LayerKind;
+using graph::ValueId;
+using sim::Classification;
+using sim::ValueClass;
+
+sim::RunOptions swap_all_naive_options() {
+  sim::RunOptions ro;
+  ro.swapin_policy = sim::SwapInPolicy::kLookahead1;
+  return ro;
+}
+
+sim::RunOptions swap_all_scheduled_options() {
+  sim::RunOptions ro;
+  ro.swapin_policy = sim::SwapInPolicy::kEagerMemoryAware;
+  return ro;
+}
+
+Classification vdnn_conv_classify(const Graph& graph,
+                                  const std::vector<graph::BwdStep>& tape) {
+  (void)tape;
+  Classification c(graph, ValueClass::kKeep);
+  for (const auto& n : graph.nodes()) {
+    if (n.kind != LayerKind::kConv) continue;
+    for (ValueId in : n.inputs) c.set(in, ValueClass::kSwap);
+  }
+  return c;
+}
+
+Classification sublinear_classify(const Graph& graph,
+                                  const std::vector<graph::BwdStep>& tape,
+                                  int segment_length) {
+  const auto values = sim::classifiable_values(graph, tape);
+  if (segment_length <= 0) {
+    segment_length = std::max(
+        2, static_cast<int>(std::lround(std::sqrt(
+               static_cast<double>(values.size())))));
+  }
+  Classification c(graph, ValueClass::kRecompute);
+  // Graph inputs cannot be recomputed; they are the first checkpoints.
+  for (ValueId in : graph.inputs()) c.set(in, ValueClass::kKeep);
+  int i = 0;
+  for (ValueId v : values) {
+    if (graph.value(v).producer == graph::kNoNode) continue;
+    if (i % segment_length == segment_length - 1) {
+      c.set(v, ValueClass::kKeep);  // checkpoint
+    }
+    ++i;
+  }
+  // Residual block boundaries are checkpoints too: segments must not
+  // recurse through shortcut edges, or recomputing one stage-boundary
+  // activation rematerializes the whole stage at once.
+  for (const auto& val : graph.values()) {
+    if (val.producer == graph::kNoNode) continue;
+    for (graph::NodeId consumer : val.consumers) {
+      if (graph.node(consumer).kind == LayerKind::kAdd) {
+        c.set(val.id, ValueClass::kKeep);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace pooch::baselines

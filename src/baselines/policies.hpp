@@ -1,0 +1,31 @@
+// Additional reference policies from the related-work section:
+//   - swap-all with and without §4.3 scheduling (the Figure 15/16 bases),
+//   - vDNN-style conv offloading (Rhu et al., MICRO 2016),
+//   - Chen et al.'s sublinear-memory checkpointing (recompute-only).
+#pragma once
+
+#include "cost/machine.hpp"
+#include "sim/runtime.hpp"
+
+namespace pooch::baselines {
+
+/// All feature maps swapped; naive one-step-lookahead swap-in — the
+/// paper's "swap-all (w/o scheduling)" base case.
+sim::RunOptions swap_all_naive_options();
+
+/// All feature maps swapped with §4.3 eager scheduling — "swap-all".
+sim::RunOptions swap_all_scheduled_options();
+
+/// vDNN-style static policy: offload the inputs of convolution layers
+/// (their "conv_offload" mode); everything else stays on the GPU.
+sim::Classification vdnn_conv_classify(const graph::Graph& graph,
+                                       const std::vector<graph::BwdStep>& tape);
+
+/// Chen et al. 2016 sublinear checkpointing: keep every k-th retained
+/// feature map (k ~ sqrt(n)) as a checkpoint, recompute the rest from
+/// the nearest checkpoint. Swapping is not used at all.
+sim::Classification sublinear_classify(const graph::Graph& graph,
+                                       const std::vector<graph::BwdStep>& tape,
+                                       int segment_length = 0);
+
+}  // namespace pooch::baselines

@@ -1,0 +1,135 @@
+#include "baselines/superneurons.hpp"
+
+#include <algorithm>
+
+#include "graph/autodiff.hpp"
+
+namespace pooch::baselines {
+
+using graph::Graph;
+using graph::LayerKind;
+using graph::ValueId;
+using sim::Classification;
+using sim::ValueClass;
+
+namespace {
+
+/// Classification for a given keep budget: keep from the output layer
+/// while the budget lasts, then the type rule.
+SuperneuronsPlan classify_with_budget(const Graph& graph,
+                                      const std::vector<graph::ValueId>& values,
+                                      std::size_t budget) {
+  SuperneuronsPlan plan;
+  plan.classes = Classification(graph, ValueClass::kKeep);
+  plan.keep_budget_bytes = budget;
+
+  // Spend the budget from the output layer inward over the retained
+  // feature maps; the last one that fits defines the keep frontier.
+  std::vector<ValueId> order = values;
+  std::sort(order.begin(), order.end(), [&](ValueId a, ValueId b) {
+    return graph.value(a).producer > graph.value(b).producer;
+  });
+  std::size_t used = 0;
+  graph::NodeId frontier = graph.num_nodes();  // deepest kept producer
+  for (ValueId v : order) {
+    const std::size_t bytes = graph.value(v).byte_size();
+    if (used + bytes > budget) break;
+    used += bytes;
+    frontier = graph.value(v).producer;
+  }
+
+  // Below the frontier the type rule applies to EVERY value, so that a
+  // recomputed activation re-derives from the nearest swapped tensor (the
+  // segment-wise recomputation SuperNeurons actually performs) instead
+  // of pinning same-sized keep-class intermediates on the GPU as chain
+  // sources. Values feeding an Add (residual block boundaries) are swap
+  // targets as well: without that, recomputing one stage-boundary
+  // activation recurses through every shortcut of the stage.
+  for (const auto& val : graph.values()) {
+    if (val.producer != graph::kNoNode && val.producer >= frontier) {
+      continue;  // kept region
+    }
+    const bool conv_output =
+        val.producer != graph::kNoNode &&
+        graph.node(val.producer).kind == LayerKind::kConv;
+    const bool is_input = val.producer == graph::kNoNode;
+    bool feeds_add = false;
+    for (graph::NodeId c : val.consumers) {
+      feeds_add = feeds_add || graph.node(c).kind == LayerKind::kAdd;
+    }
+    plan.classes.set(val.id, conv_output || is_input || feeds_add
+                                 ? ValueClass::kSwap
+                                 : ValueClass::kRecompute);
+  }
+  plan.counts = plan.classes.counts(values);
+  return plan;
+}
+
+}  // namespace
+
+SuperneuronsPlan superneurons_classify(const Graph& graph,
+                                       const std::vector<graph::BwdStep>& tape,
+                                       const cost::MachineConfig& machine) {
+  const auto values = sim::classifiable_values(graph, tape);
+
+  // Static keep budget. SuperNeurons runs a liveness pass, so its budget
+  // accounts for the worst per-step compute transients (gradients +
+  // workspace) and one resident swapped-in feature map — but NOT for the
+  // buffers its own prefetcher will allocate, because the swap-in
+  // trigger never consults actual memory usage (the blindness the paper
+  // calls out in §5.2).
+  const std::size_t persistent = 2 * graph.total_param_bytes();
+  std::size_t largest_value = 0;
+  for (ValueId v : values) {
+    largest_value = std::max(largest_value, graph.value(v).byte_size());
+  }
+  std::size_t max_transient = 0;
+  const auto keep_all_plan = sim::build_backward_plan(
+      graph, tape, sim::Classification(graph, ValueClass::kKeep));
+  for (const auto& step : keep_all_plan.steps) {
+    max_transient = std::max(max_transient, step.transient_bytes);
+  }
+  const std::size_t usable = machine.usable_gpu_bytes();
+  const std::size_t reserve = max_transient + largest_value;
+  // The flat 85% utilisation factor stands in for SuperNeurons' static
+  // allowance for in-flight swap-out buffers and allocator slack.
+  const std::size_t budget =
+      usable > persistent + reserve
+          ? static_cast<std::size_t>(
+                0.85 * static_cast<double>(usable - persistent - reserve))
+          : 0;
+  return classify_with_budget(graph, values, budget);
+}
+
+SuperneuronsPlan superneurons_plan(const Graph& graph,
+                                   const std::vector<graph::BwdStep>& tape,
+                                   const cost::MachineConfig& machine,
+                                   const sim::TimeModel& time_model) {
+  const auto values = sim::classifiable_values(graph, tape);
+  SuperneuronsPlan plan = superneurons_classify(graph, tape, machine);
+
+  // Pool-based planning stand-in: shrink the keep budget until the
+  // execution fits with prefetch blindness disabled. The returned plan
+  // may still OOM under the real (blind) trigger rule.
+  sim::Runtime runtime(graph, tape, machine, time_model);
+  sim::RunOptions soft = superneurons_run_options();
+  soft.oom_on_prefetch_failure = false;
+  std::size_t budget = plan.keep_budget_bytes;
+  for (int round = 0; round < 40; ++round) {
+    const auto r = runtime.run(plan.classes, soft);
+    if (r.ok) break;
+    budget = budget * 9 / 10;
+    plan = classify_with_budget(graph, values, budget);
+    if (budget == 0) break;
+  }
+  return plan;
+}
+
+sim::RunOptions superneurons_run_options() {
+  sim::RunOptions ro;
+  ro.swapin_policy = sim::SwapInPolicy::kLookaheadPrevConv;
+  ro.oom_on_prefetch_failure = true;
+  return ro;
+}
+
+}  // namespace pooch::baselines

@@ -1,0 +1,43 @@
+// SuperNeurons baseline (Wang et al., PPoPP 2018), as reimplemented by
+// the paper's authors for their comparison (§5.2):
+//   - feature maps are kept on the GPU preferentially from the output
+//     layer, within a statically estimated budget;
+//   - of the rest, convolution outputs are swapped, everything else is
+//     recomputed — a *type-based* rule that ignores measured times;
+//   - each swap-in is triggered at the backward step of the immediately
+//     preceding convolution layer, without checking the actual free
+//     memory — the blindness that makes it fail at ResNet-50 batch 640.
+#pragma once
+
+#include "cost/machine.hpp"
+#include "sim/runtime.hpp"
+
+namespace pooch::baselines {
+
+struct SuperneuronsPlan {
+  sim::Classification classes;
+  std::array<int, 3> counts{0, 0, 0};  // keep/swap/recompute (Table 3)
+  std::size_t keep_budget_bytes = 0;
+};
+
+/// The static classification. Identical on every machine with the same
+/// GPU capacity — SuperNeurons does not see the interconnect (Table 3).
+SuperneuronsPlan superneurons_classify(const graph::Graph& graph,
+                                       const std::vector<graph::BwdStep>& tape,
+                                       const cost::MachineConfig& machine);
+
+/// Run options encoding its swap-in trigger rule and memory blindness.
+sim::RunOptions superneurons_run_options();
+
+/// The full baseline as the paper evaluates it: the static type-based
+/// classification, with the keep budget shrunk until the execution fits
+/// ignoring prefetch (standing in for SuperNeurons' pool-based planning).
+/// The swap-in trigger stays time/type-based and memory-blind, so the
+/// returned plan can still fail under `superneurons_run_options()` — the
+/// paper's ResNet-50 batch-640 outcome.
+SuperneuronsPlan superneurons_plan(const graph::Graph& graph,
+                                   const std::vector<graph::BwdStep>& tape,
+                                   const cost::MachineConfig& machine,
+                                   const sim::TimeModel& time_model);
+
+}  // namespace pooch::baselines

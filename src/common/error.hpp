@@ -1,0 +1,52 @@
+// Error handling: a single exception type plus check macros.
+//
+// The library is exception-based (per the C++ Core Guidelines): invariant
+// violations and unsatisfiable requests throw pooch::Error. Expected
+// conditions discovered during simulation (e.g. an out-of-memory execution)
+// are *not* errors — they are reported through result structs.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pooch {
+
+/// Exception thrown on API misuse and broken invariants.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "POOCH_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace pooch
+
+/// Always-on invariant check; throws pooch::Error when `cond` is false.
+#define POOCH_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::pooch::detail::throw_check_failure(#cond, __FILE__, __LINE__, ""); \
+    }                                                                      \
+  } while (false)
+
+/// Invariant check with a streamed message:
+///   POOCH_CHECK_MSG(a == b, "a=" << a << " b=" << b);
+#define POOCH_CHECK_MSG(cond, stream_expr)                               \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream pooch_check_os_;                                \
+      pooch_check_os_ << stream_expr;                                    \
+      ::pooch::detail::throw_check_failure(#cond, __FILE__, __LINE__,    \
+                                           pooch_check_os_.str());       \
+    }                                                                    \
+  } while (false)

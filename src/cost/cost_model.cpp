@@ -1,0 +1,195 @@
+#include "cost/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pooch::cost {
+
+using graph::Graph;
+using graph::LayerKind;
+using graph::Node;
+using graph::NodeId;
+
+namespace {
+
+double value_bytes(const Graph& g, graph::ValueId v) {
+  return static_cast<double>(g.value(v).byte_size());
+}
+
+double sum_input_bytes(const Graph& g, const Node& n) {
+  double b = 0.0;
+  for (auto in : n.inputs) b += value_bytes(g, in);
+  return b;
+}
+
+double param_bytes(const Graph& g, NodeId id) {
+  double b = 0.0;
+  for (const Shape& s : g.param_shapes(id)) {
+    b += static_cast<double>(s.numel()) * 4.0;
+  }
+  return b;
+}
+
+/// MACs of a convolution (per the output-centric formula).
+double conv_macs(const Graph& g, const Node& n) {
+  const auto& a = std::get<ConvAttrs>(n.attrs);
+  const Shape& out = g.value(n.output).shape;
+  const Shape& in = g.value(n.inputs[0]).shape;
+  const double out_elems = static_cast<double>(out.numel());
+  const double k = static_cast<double>(a.kernel[0] * a.kernel[1] * a.kernel[2]);
+  const double cg = static_cast<double>(in[1] / a.groups);
+  return out_elems * k * cg;
+}
+
+}  // namespace
+
+OpCost forward_cost(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  const double in_b = sum_input_bytes(g, n);
+  const double out_b = value_bytes(g, n.output);
+  OpCost c;
+  switch (n.kind) {
+    case LayerKind::kConv:
+      c.flops = 2.0 * conv_macs(g, n);
+      c.bytes = in_b + out_b + param_bytes(g, id);
+      break;
+    case LayerKind::kFullyConnected: {
+      const auto& a = std::get<FcAttrs>(n.attrs);
+      const Shape flat = g.value(n.inputs[0]).shape.flatten2d();
+      c.flops = 2.0 * static_cast<double>(flat[0] * flat[1] * a.out_features);
+      c.bytes = in_b + out_b + param_bytes(g, id);
+      break;
+    }
+    case LayerKind::kBatchNorm:
+      // Two passes over the input for statistics plus normalize+write.
+      c.flops = 0.0;
+      c.bytes = 3.0 * in_b + out_b;
+      break;
+    case LayerKind::kReLU:
+    case LayerKind::kDropout:
+    case LayerKind::kAdd:
+    case LayerKind::kConcat:
+    case LayerKind::kFlatten:
+      c.flops = 0.0;
+      c.bytes = in_b + out_b;
+      break;
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool: {
+      const auto& a = std::get<PoolAttrs>(n.attrs);
+      const double k =
+          static_cast<double>(a.kernel[0] * a.kernel[1] * a.kernel[2]);
+      c.flops = 0.0;
+      c.bytes = out_b * k + out_b;  // window reads + output writes
+      break;
+    }
+    case LayerKind::kGlobalAvgPool:
+    case LayerKind::kSoftmaxLoss:
+      c.flops = 0.0;
+      c.bytes = in_b + out_b;
+      break;
+  }
+  return c;
+}
+
+OpCost backward_cost(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  const double in_b = sum_input_bytes(g, n);
+  const double out_b = value_bytes(g, n.output);
+  OpCost c;
+  switch (n.kind) {
+    case LayerKind::kConv: {
+      // dX and dW each cost about one forward worth of MACs.
+      const double macs = conv_macs(g, n);
+      c.flops = 4.0 * macs;
+      c.bytes = 2.0 * (in_b + out_b) + 2.0 * param_bytes(g, id);
+      break;
+    }
+    case LayerKind::kFullyConnected: {
+      const auto& a = std::get<FcAttrs>(n.attrs);
+      const Shape flat = g.value(n.inputs[0]).shape.flatten2d();
+      c.flops = 4.0 * static_cast<double>(flat[0] * flat[1] * a.out_features);
+      c.bytes = 2.0 * (in_b + out_b) + 2.0 * param_bytes(g, id);
+      break;
+    }
+    case LayerKind::kBatchNorm:
+      // Statistics + two reduction passes + dx pass.
+      c.flops = 0.0;
+      c.bytes = 5.0 * in_b;
+      break;
+    case LayerKind::kReLU:
+    case LayerKind::kDropout:
+      c.flops = 0.0;
+      c.bytes = 3.0 * out_b;  // read y (or mask) + read dy + write dx
+      break;
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool: {
+      const auto& a = std::get<PoolAttrs>(n.attrs);
+      const double k =
+          static_cast<double>(a.kernel[0] * a.kernel[1] * a.kernel[2]);
+      c.flops = 0.0;
+      c.bytes = out_b * k + in_b + out_b;
+      break;
+    }
+    case LayerKind::kAdd:
+    case LayerKind::kConcat:
+    case LayerKind::kFlatten:
+      c.flops = 0.0;
+      c.bytes = in_b + out_b;
+      break;
+    case LayerKind::kGlobalAvgPool:
+      c.flops = 0.0;
+      c.bytes = in_b + out_b;
+      break;
+    case LayerKind::kSoftmaxLoss:
+      c.flops = 0.0;
+      c.bytes = 2.0 * in_b;
+      break;
+  }
+  return c;
+}
+
+double op_time(const OpCost& cost, const LayerKind kind,
+               const MachineConfig& machine) {
+  const double eff = kind == LayerKind::kConv ? machine.conv_efficiency
+                     : kind == LayerKind::kFullyConnected
+                         ? machine.gemm_efficiency
+                         : 1.0;
+  const double flop_time =
+      cost.flops > 0.0
+          ? cost.flops / (tflops_to_flops(machine.peak_tflops) * eff)
+          : 0.0;
+  const double mem_time =
+      cost.bytes / gbps_to_bytes_per_sec(machine.hbm_gbps);
+  return std::max(flop_time, mem_time) + machine.kernel_launch_latency_s;
+}
+
+double forward_time(const Graph& g, NodeId id, const MachineConfig& machine) {
+  return op_time(forward_cost(g, id), g.node(id).kind, machine);
+}
+
+double backward_time(const Graph& g, NodeId id, const MachineConfig& machine) {
+  return op_time(backward_cost(g, id), g.node(id).kind, machine);
+}
+
+double transfer_time(std::size_t bytes, const MachineConfig& machine) {
+  return static_cast<double>(bytes) / gbps_to_bytes_per_sec(machine.link_gbps) +
+         machine.link_latency_s;
+}
+
+double update_time(const Graph& g, const MachineConfig& machine) {
+  const double bytes = 3.0 * static_cast<double>(g.total_param_bytes());
+  return bytes / gbps_to_bytes_per_sec(machine.hbm_gbps) +
+         machine.kernel_launch_latency_s;
+}
+
+double incore_iteration_time(const Graph& g, const MachineConfig& machine) {
+  double t = update_time(g, machine);
+  for (const Node& n : g.nodes()) {
+    t += forward_time(g, n.id, machine);
+    t += backward_time(g, n.id, machine);
+  }
+  return t;
+}
+
+}  // namespace pooch::cost

@@ -1,0 +1,50 @@
+// Analytic roofline cost model — the stand-in for measured V100 kernel
+// times (DESIGN.md §2).
+//
+// Each op is characterised by (FLOPs, bytes touched); its time is
+//   max(flops / effective_flops, bytes / hbm_bandwidth) + launch latency.
+// What PoocH consumes is the *ratio structure* this produces: convolutions
+// are compute-bound (long relative to their feature maps), batchnorm/ReLU
+// are bandwidth-bound (cheap to recompute, expensive to swap over a slow
+// link) — the exact asymmetry §3.3 of the paper builds the hybrid on.
+#pragma once
+
+#include <cstdint>
+
+#include "cost/machine.hpp"
+#include "graph/graph.hpp"
+
+namespace pooch::cost {
+
+struct OpCost {
+  double flops = 0.0;
+  double bytes = 0.0;
+};
+
+/// Arithmetic and traffic of a node's forward kernel.
+OpCost forward_cost(const graph::Graph& graph, graph::NodeId id);
+
+/// Arithmetic and traffic of a node's full backward kernel (data gradient
+/// plus parameter gradients where applicable).
+OpCost backward_cost(const graph::Graph& graph, graph::NodeId id);
+
+/// Roofline time for an op under a machine.
+double op_time(const OpCost& cost, const graph::LayerKind kind,
+               const MachineConfig& machine);
+
+double forward_time(const graph::Graph& graph, graph::NodeId id,
+                    const MachineConfig& machine);
+double backward_time(const graph::Graph& graph, graph::NodeId id,
+                     const MachineConfig& machine);
+
+/// Host<->device copy time for `bytes` over the machine's interconnect.
+double transfer_time(std::size_t bytes, const MachineConfig& machine);
+
+/// SGD parameter update (read param+grad, write param) for the graph.
+double update_time(const graph::Graph& graph, const MachineConfig& machine);
+
+/// Sum of forward+backward+update times: the in-core iteration time.
+double incore_iteration_time(const graph::Graph& graph,
+                             const MachineConfig& machine);
+
+}  // namespace pooch::cost

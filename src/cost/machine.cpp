@@ -1,0 +1,43 @@
+#include "cost/machine.hpp"
+
+namespace pooch::cost {
+
+MachineConfig x86_pcie() {
+  MachineConfig m;
+  m.name = "x86-pcie";
+  m.gpu_capacity_bytes = 16 * kGiB;
+  m.peak_tflops = 15.7;
+  m.hbm_gbps = 900.0;
+  m.link_gbps = 16.0;
+  m.link_latency_s = 10e-6;
+  m.host_capacity_bytes = 192 * kGiB;
+  return m;
+}
+
+MachineConfig power9_nvlink() {
+  MachineConfig m;
+  m.name = "power9-nvlink";
+  m.gpu_capacity_bytes = 16 * kGiB;
+  m.peak_tflops = 15.7;
+  m.hbm_gbps = 900.0;
+  m.link_gbps = 75.0;
+  m.link_latency_s = 5e-6;  // NVLink has lower setup cost than PCIe DMA
+  m.host_capacity_bytes = 1024 * kGiB;
+  return m;
+}
+
+MachineConfig test_machine(std::size_t capacity_mib) {
+  MachineConfig m;
+  m.name = "test";
+  m.gpu_capacity_bytes = capacity_mib * kMiB;
+  m.gpu_reserved_bytes = 0;
+  m.peak_tflops = 1.0;
+  m.hbm_gbps = 100.0;
+  m.kernel_launch_latency_s = 1e-6;
+  m.link_gbps = 10.0;
+  m.link_latency_s = 1e-6;
+  m.host_capacity_bytes = 16 * kGiB;
+  return m;
+}
+
+}  // namespace pooch::cost

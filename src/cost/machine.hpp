@@ -1,0 +1,55 @@
+// Execution-environment description.
+//
+// A MachineConfig carries exactly the quantities the paper says drive the
+// swap-vs-recompute tradeoff: GPU capacity, compute throughput, device
+// memory bandwidth, and — the headline difference between the two
+// testbeds — the CPU-GPU interconnect bandwidth (PCIe gen3 16 GB/s vs
+// NVLink2 75 GB/s).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace pooch::cost {
+
+struct MachineConfig {
+  std::string name;
+
+  // --- GPU ---
+  std::size_t gpu_capacity_bytes = 16 * kGiB;
+  /// Bytes unavailable to the framework (CUDA context, cuDNN handles).
+  std::size_t gpu_reserved_bytes = 600 * kMiB;
+  double peak_tflops = 15.7;        // V100 fp32
+  double hbm_gbps = 900.0;          // device memory bandwidth
+  double kernel_launch_latency_s = 5e-6;
+
+  /// Fraction of peak FLOPs realised by compute-bound kernels.
+  double conv_efficiency = 0.45;
+  double gemm_efficiency = 0.60;
+
+  // --- CPU-GPU interconnect ---
+  double link_gbps = 16.0;          // one direction
+  double link_latency_s = 10e-6;    // per-transfer setup cost
+
+  // --- Host ---
+  std::size_t host_capacity_bytes = 192 * kGiB;
+
+  std::size_t usable_gpu_bytes() const {
+    return gpu_capacity_bytes > gpu_reserved_bytes
+               ? gpu_capacity_bytes - gpu_reserved_bytes
+               : 0;
+  }
+};
+
+/// The paper's x86 testbed: Xeon Gold 6140, V100-16GB over PCIe gen3 x16.
+MachineConfig x86_pcie();
+
+/// The paper's POWER9 testbed: V100-16GB over 2x NVLink2.0 (75 GB/s).
+MachineConfig power9_nvlink();
+
+/// Tiny virtual GPU for unit tests (capacity in MiB).
+MachineConfig test_machine(std::size_t capacity_mib = 64);
+
+}  // namespace pooch::cost

@@ -1,0 +1,59 @@
+#include "graph/autodiff.hpp"
+
+#include "common/error.hpp"
+
+namespace pooch::graph {
+
+std::vector<ValueId> backward_needed_values(const Graph& graph, NodeId id) {
+  const Node& n = graph.node(id);
+  switch (n.kind) {
+    // Backward reads the layer input: conv/fc for the weight gradient,
+    // maxpool to recompute the argmax, batchnorm to recompute batch
+    // statistics, softmax to recompute the probabilities.
+    case LayerKind::kConv:
+    case LayerKind::kFullyConnected:
+    case LayerKind::kMaxPool:
+    case LayerKind::kBatchNorm:
+    case LayerKind::kSoftmaxLoss:
+      return {n.inputs[0]};
+    // ReLU's backward masks dy with (y > 0): it reads the *output*.
+    case LayerKind::kReLU:
+      return {n.output};
+    // Shape-only backward kernels.
+    case LayerKind::kAvgPool:
+    case LayerKind::kGlobalAvgPool:
+    case LayerKind::kAdd:
+    case LayerKind::kConcat:
+    case LayerKind::kFlatten:
+    case LayerKind::kDropout:  // mask is regenerated from the counter RNG
+      return {};
+  }
+  throw Error("unknown layer kind");
+}
+
+std::vector<BwdStep> build_backward_tape(const Graph& graph) {
+  std::vector<BwdStep> tape;
+  tape.reserve(static_cast<std::size_t>(graph.num_nodes()));
+  for (int i = graph.num_nodes() - 1; i >= 0; --i) {
+    const Node& n = graph.node(static_cast<NodeId>(i));
+    BwdStep step;
+    step.node = n.id;
+    step.needed = backward_needed_values(graph, n.id);
+    for (ValueId in : n.inputs) {
+      if (graph.value(in).producer != kNoNode) step.grad_outputs.push_back(in);
+    }
+    tape.push_back(std::move(step));
+  }
+  return tape;
+}
+
+std::vector<int> backward_need_counts(const Graph& graph,
+                                      const std::vector<BwdStep>& tape) {
+  std::vector<int> counts(static_cast<std::size_t>(graph.num_values()), 0);
+  for (const BwdStep& step : tape) {
+    for (ValueId v : step.needed) ++counts[static_cast<std::size_t>(v)];
+  }
+  return counts;
+}
+
+}  // namespace pooch::graph

@@ -1,0 +1,41 @@
+// Backward-pass expansion.
+//
+// The tape lists one step per forward node, in reverse topological order.
+// Each step records which *stored feature maps* the backward kernel reads —
+// the central input to the out-of-core planner: a value appearing in some
+// step's `needed` list must be on the GPU (kept, swapped back in, or
+// recomputed) when that step runs.
+//
+// Gradient data-flow is derived, not stored: the step for node n consumes
+// the gradient of n's output and produces gradients for each of n's
+// inputs (accumulating when a value feeds several nodes).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pooch::graph {
+
+struct BwdStep {
+  NodeId node = kNoNode;
+  /// Feature maps (value ids) the backward kernel must have resident.
+  std::vector<ValueId> needed;
+  /// Input values that receive a gradient contribution from this step
+  /// (graph inputs are excluded — they need no gradient).
+  std::vector<ValueId> grad_outputs;
+};
+
+/// Stored-value requirements of a node's backward kernel.
+std::vector<ValueId> backward_needed_values(const Graph& graph, NodeId id);
+
+/// Build the full tape (reverse node order).
+std::vector<BwdStep> build_backward_tape(const Graph& graph);
+
+/// For each value: how many backward steps list it in `needed`. Values
+/// with count 0 may be discarded after their last forward use regardless
+/// of classification.
+std::vector<int> backward_need_counts(const Graph& graph,
+                                      const std::vector<BwdStep>& tape);
+
+}  // namespace pooch::graph

@@ -1,0 +1,106 @@
+#include "graph/liveness.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pooch::graph {
+
+namespace {
+
+// Add `bytes` to the half-open step interval [from, to).
+void add_interval(std::vector<long long>& diff, int from, int to,
+                  long long bytes) {
+  if (from >= to) return;
+  diff[static_cast<std::size_t>(from)] += bytes;
+  diff[static_cast<std::size_t>(to)] -= bytes;
+}
+
+}  // namespace
+
+LivenessReport incore_liveness(const Graph& graph,
+                               const std::vector<BwdStep>& tape) {
+  const int n = graph.num_nodes();
+  POOCH_CHECK(static_cast<int>(tape.size()) == n);
+  const int steps = 2 * n;
+  std::vector<long long> diff(static_cast<std::size_t>(steps) + 1, 0);
+
+  // Backward step index of a node: tape is reverse node order, so node i's
+  // backward runs at step n + (n - 1 - i).
+  auto bwd_step_of = [&](NodeId id) { return n + (n - 1 - id); };
+
+  // Feature maps: alive from the producer's forward step (step 0 for
+  // graph inputs) until released. Chainer retains exactly the tensors
+  // that some function's backward declared it needs (retain_inputs /
+  // retain_outputs); a retained tensor is released after the backward
+  // step of its last retainer, an unretained one after its last forward
+  // consumer.
+  std::vector<int> release(static_cast<std::size_t>(graph.num_values()), -1);
+  for (const BwdStep& step : tape) {
+    const int s = bwd_step_of(step.node);
+    for (ValueId v : step.needed) {
+      release[static_cast<std::size_t>(v)] =
+          std::max(release[static_cast<std::size_t>(v)], s);
+    }
+  }
+  for (const Value& v : graph.values()) {
+    int to = release[static_cast<std::size_t>(v.id)];
+    for (NodeId c : v.consumers) to = std::max(to, static_cast<int>(c));
+    if (to < 0) to = v.producer == kNoNode ? 0 : v.producer;
+    const int from = v.producer == kNoNode ? 0 : v.producer;
+    add_interval(diff, from, to + 1, static_cast<long long>(v.byte_size()));
+  }
+
+  // Feature-map gradients: alive from the earliest backward step that
+  // contributes (the latest consumer node) until the producer's backward
+  // step has consumed them. The loss gradient seed exists from the start
+  // of backward.
+  for (const Value& v : graph.values()) {
+    if (v.producer == kNoNode) continue;  // inputs get no gradient
+    int first_contrib;
+    if (v.consumers.empty()) {
+      first_contrib = n;  // loss seed
+    } else {
+      NodeId latest = *std::max_element(v.consumers.begin(), v.consumers.end());
+      first_contrib = bwd_step_of(latest);
+    }
+    const int consumed = bwd_step_of(v.producer);
+    add_interval(diff, first_contrib, consumed + 1,
+                 static_cast<long long>(v.byte_size()));
+  }
+
+  // Workspace: conv forward uses one column buffer; conv backward uses a
+  // column plus a column-gradient buffer.
+  for (const Node& node : graph.nodes()) {
+    const long long ws = static_cast<long long>(graph.workspace_bytes(node.id));
+    if (ws == 0) continue;
+    add_interval(diff, node.id, node.id + 1, ws);
+    add_interval(diff, bwd_step_of(node.id), bwd_step_of(node.id) + 1, 2 * ws);
+  }
+
+  LivenessReport report;
+  report.per_step_bytes.resize(static_cast<std::size_t>(steps));
+  long long running = 0;
+  for (int s = 0; s < steps; ++s) {
+    running += diff[static_cast<std::size_t>(s)];
+    POOCH_CHECK(running >= 0);
+    report.per_step_bytes[static_cast<std::size_t>(s)] =
+        static_cast<std::size_t>(running);
+    if (report.per_step_bytes[static_cast<std::size_t>(s)] >
+        report.peak_dynamic_bytes) {
+      report.peak_dynamic_bytes = report.per_step_bytes[static_cast<std::size_t>(s)];
+      report.peak_step = s;
+    }
+  }
+  // Params + same-size gradient buffers persist across the iteration.
+  report.persistent_bytes = 2 * graph.total_param_bytes();
+  report.peak_bytes = report.peak_dynamic_bytes + report.persistent_bytes;
+  return report;
+}
+
+std::size_t incore_peak_bytes(const Graph& graph) {
+  const auto tape = build_backward_tape(graph);
+  return incore_liveness(graph, tape).peak_bytes;
+}
+
+}  // namespace pooch::graph

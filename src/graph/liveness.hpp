@@ -1,0 +1,40 @@
+// In-core memory accounting (Chainer semantics).
+//
+// Models the framework the paper extends: the autograd graph retains
+// every feature map some backward kernel declared it needs
+// (retain_inputs / retain_outputs) until that backward step has run, so
+// the bulk of the forward activations accumulate across the whole
+// forward pass. This is what makes the original Chainer fail once the
+// retained feature maps outgrow the device — the behaviour reproduced in
+// Figures 3 and 4 and by every "in-core" series in the evaluation.
+//
+// The step axis is: forward steps 0..N-1 (node order), then backward steps
+// N..2N-1 (tape order).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/autodiff.hpp"
+#include "graph/graph.hpp"
+
+namespace pooch::graph {
+
+struct LivenessReport {
+  /// Live bytes at each step (feature maps + grads + workspace), excluding
+  /// the persistent parameter/parameter-gradient pool.
+  std::vector<std::size_t> per_step_bytes;
+  std::size_t peak_dynamic_bytes = 0;   // max of per_step_bytes
+  std::size_t persistent_bytes = 0;     // params + param grads
+  std::size_t peak_bytes = 0;           // peak_dynamic + persistent
+  int peak_step = 0;
+};
+
+/// Peak memory of one in-core training iteration.
+LivenessReport incore_liveness(const Graph& graph,
+                               const std::vector<BwdStep>& tape);
+
+/// Convenience: peak bytes only.
+std::size_t incore_peak_bytes(const Graph& graph);
+
+}  // namespace pooch::graph

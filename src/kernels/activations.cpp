@@ -1,0 +1,25 @@
+#include "kernels/activations.hpp"
+
+#include "common/error.hpp"
+
+namespace pooch::kernels {
+
+void relu_forward(const Tensor& x, Tensor& y) {
+  POOCH_CHECK(y.shape() == x.shape());
+  const float* xp = x.data();
+  float* yp = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) yp[i] = xp[i] > 0.0f ? xp[i] : 0.0f;
+}
+
+void relu_backward(const Tensor& y, const Tensor& dy, Tensor& dx) {
+  POOCH_CHECK(dy.shape() == y.shape());
+  POOCH_CHECK(dx.shape() == y.shape());
+  const float* yp = y.data();
+  const float* dyp = dy.data();
+  float* dxp = dx.data();
+  const std::int64_t n = y.numel();
+  for (std::int64_t i = 0; i < n; ++i) dxp[i] = yp[i] > 0.0f ? dyp[i] : 0.0f;
+}
+
+}  // namespace pooch::kernels

@@ -1,0 +1,15 @@
+// Pointwise activations. ReLU's backward uses the layer *output* (dy
+// masked by y > 0), so the planner marks the output — not the input — as
+// the preserved feature map for activation layers.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace pooch::kernels {
+
+void relu_forward(const Tensor& x, Tensor& y);
+
+/// dx = dy where y > 0 else 0.
+void relu_backward(const Tensor& y, const Tensor& dy, Tensor& dx);
+
+}  // namespace pooch::kernels

@@ -1,0 +1,104 @@
+// Attribute structs shared by the kernels and the graph layer descriptors.
+//
+// Convolution and pooling are implemented once for 3 spatial dimensions;
+// 2-D layers set spatial_rank = 2 and the leading (depth) extent of every
+// triple to the identity value (kernel 1, stride 1, pad 0).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pooch {
+
+using Triple = std::array<std::int64_t, 3>;  // (depth, height, width)
+
+struct ConvAttrs {
+  int spatial_rank = 2;  // 2 or 3
+  std::int64_t out_channels = 0;
+  Triple kernel{1, 1, 1};
+  Triple stride{1, 1, 1};
+  Triple pad{0, 0, 0};
+  std::int64_t groups = 1;
+  bool has_bias = true;
+
+  /// Convenience maker for square 2-D convolutions.
+  static ConvAttrs conv2d(std::int64_t out_channels, std::int64_t k,
+                          std::int64_t stride = 1, std::int64_t pad = 0,
+                          std::int64_t groups = 1, bool bias = true) {
+    ConvAttrs a;
+    a.spatial_rank = 2;
+    a.out_channels = out_channels;
+    a.kernel = {1, k, k};
+    a.stride = {1, stride, stride};
+    a.pad = {0, pad, pad};
+    a.groups = groups;
+    a.has_bias = bias;
+    return a;
+  }
+
+  /// Convenience maker for cubic 3-D convolutions.
+  static ConvAttrs conv3d(std::int64_t out_channels, std::int64_t k,
+                          std::int64_t stride = 1, std::int64_t pad = 0,
+                          std::int64_t groups = 1, bool bias = true) {
+    ConvAttrs a;
+    a.spatial_rank = 3;
+    a.out_channels = out_channels;
+    a.kernel = {k, k, k};
+    a.stride = {stride, stride, stride};
+    a.pad = {pad, pad, pad};
+    a.groups = groups;
+    a.has_bias = bias;
+    return a;
+  }
+};
+
+enum class PoolMode { kMax, kAvg };
+
+struct PoolAttrs {
+  int spatial_rank = 2;
+  PoolMode mode = PoolMode::kMax;
+  Triple kernel{1, 1, 1};
+  Triple stride{1, 1, 1};
+  Triple pad{0, 0, 0};
+
+  static PoolAttrs pool2d(PoolMode mode, std::int64_t k, std::int64_t stride,
+                          std::int64_t pad = 0) {
+    PoolAttrs a;
+    a.spatial_rank = 2;
+    a.mode = mode;
+    a.kernel = {1, k, k};
+    a.stride = {1, stride, stride};
+    a.pad = {0, pad, pad};
+    return a;
+  }
+
+  static PoolAttrs pool3d(PoolMode mode, std::int64_t k, std::int64_t stride,
+                          std::int64_t pad = 0) {
+    PoolAttrs a;
+    a.spatial_rank = 3;
+    a.mode = mode;
+    a.kernel = {k, k, k};
+    a.stride = {stride, stride, stride};
+    a.pad = {pad, pad, pad};
+    return a;
+  }
+};
+
+struct BatchNormAttrs {
+  float epsilon = 1e-5f;
+};
+
+struct FcAttrs {
+  std::int64_t out_features = 0;
+  bool has_bias = true;
+};
+
+struct DropoutAttrs {
+  float rate = 0.5f;
+  // Key mixed into the counter RNG so every dropout layer draws a distinct,
+  // reproducible mask. The executing runtime also mixes in the iteration
+  // index; recomputation within one iteration regenerates the same mask.
+  std::uint64_t key = 0;
+};
+
+}  // namespace pooch

@@ -1,0 +1,154 @@
+#include "kernels/batchnorm.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pooch::kernels {
+
+namespace {
+
+struct BnGeom {
+  std::int64_t batch = 0;
+  std::int64_t channels = 0;
+  std::int64_t spatial = 1;
+  std::int64_t reduce = 0;  // batch * spatial
+};
+
+BnGeom make_geom(const Shape& s) {
+  POOCH_CHECK_MSG(s.rank() >= 2, "batchnorm input must have rank >= 2");
+  BnGeom g;
+  g.batch = s[0];
+  g.channels = s[1];
+  for (int i = 2; i < s.rank(); ++i) g.spatial *= s[i];
+  g.reduce = g.batch * g.spatial;
+  POOCH_CHECK(g.reduce > 0);
+  return g;
+}
+
+// mean[c], invstd[c] across (batch, spatial) for each channel.
+void compute_stats(const Tensor& x, const BnGeom& g, float epsilon,
+                   std::vector<double>& mean, std::vector<double>& invstd) {
+  mean.assign(static_cast<std::size_t>(g.channels), 0.0);
+  invstd.assign(static_cast<std::size_t>(g.channels), 0.0);
+  const float* xp = x.data();
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t c = 0; c < g.channels; ++c) {
+      const float* row = xp + (n * g.channels + c) * g.spatial;
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < g.spatial; ++j) acc += row[j];
+      mean[static_cast<std::size_t>(c)] += acc;
+    }
+  }
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    mean[static_cast<std::size_t>(c)] /= static_cast<double>(g.reduce);
+  }
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t c = 0; c < g.channels; ++c) {
+      const float* row = xp + (n * g.channels + c) * g.spatial;
+      const double m = mean[static_cast<std::size_t>(c)];
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < g.spatial; ++j) {
+        const double d = row[j] - m;
+        acc += d * d;
+      }
+      invstd[static_cast<std::size_t>(c)] += acc;
+    }
+  }
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    const double var =
+        invstd[static_cast<std::size_t>(c)] / static_cast<double>(g.reduce);
+    invstd[static_cast<std::size_t>(c)] =
+        1.0 / std::sqrt(var + static_cast<double>(epsilon));
+  }
+}
+
+}  // namespace
+
+void batchnorm_forward(const Tensor& x, const Tensor& gamma,
+                       const Tensor& beta, Tensor& y,
+                       const BatchNormAttrs& attrs) {
+  const BnGeom g = make_geom(x.shape());
+  POOCH_CHECK(y.shape() == x.shape());
+  POOCH_CHECK(gamma.numel() == g.channels && beta.numel() == g.channels);
+
+  std::vector<double> mean, invstd;
+  compute_stats(x, g, attrs.epsilon, mean, invstd);
+
+  const float* xp = x.data();
+  float* yp = y.data();
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t c = 0; c < g.channels; ++c) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      const float m = static_cast<float>(mean[ci]);
+      const float is = static_cast<float>(invstd[ci]);
+      const float gm = gamma[c];
+      const float bt = beta[c];
+      const std::int64_t base = (n * g.channels + c) * g.spatial;
+      for (std::int64_t j = 0; j < g.spatial; ++j) {
+        yp[base + j] = gm * (xp[base + j] - m) * is + bt;
+      }
+    }
+  }
+}
+
+void batchnorm_backward(const Tensor& x, const Tensor& gamma,
+                        const Tensor& dy, Tensor* dx, Tensor& dgamma,
+                        Tensor& dbeta, const BatchNormAttrs& attrs) {
+  const BnGeom g = make_geom(x.shape());
+  POOCH_CHECK(dy.shape() == x.shape());
+  POOCH_CHECK(dgamma.numel() == g.channels && dbeta.numel() == g.channels);
+  if (dx) POOCH_CHECK(dx->shape() == x.shape());
+
+  std::vector<double> mean, invstd;
+  compute_stats(x, g, attrs.epsilon, mean, invstd);
+
+  // Per-channel reductions: sum(dy) and sum(dy * xhat).
+  std::vector<double> sum_dy(static_cast<std::size_t>(g.channels), 0.0);
+  std::vector<double> sum_dy_xhat(static_cast<std::size_t>(g.channels), 0.0);
+  const float* xp = x.data();
+  const float* dyp = dy.data();
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t c = 0; c < g.channels; ++c) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      const double m = mean[ci];
+      const double is = invstd[ci];
+      const std::int64_t base = (n * g.channels + c) * g.spatial;
+      double a = 0.0, b = 0.0;
+      for (std::int64_t j = 0; j < g.spatial; ++j) {
+        const double d = dyp[base + j];
+        a += d;
+        b += d * (xp[base + j] - m) * is;
+      }
+      sum_dy[ci] += a;
+      sum_dy_xhat[ci] += b;
+    }
+  }
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    const std::size_t ci = static_cast<std::size_t>(c);
+    dgamma[c] = static_cast<float>(sum_dy_xhat[ci]);
+    dbeta[c] = static_cast<float>(sum_dy[ci]);
+  }
+  if (!dx) return;
+
+  // dx = (gamma * invstd / R) * (R*dy - sum_dy - xhat * sum_dy_xhat)
+  float* dxp = dx->data();
+  const double R = static_cast<double>(g.reduce);
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t c = 0; c < g.channels; ++c) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      const double m = mean[ci];
+      const double is = invstd[ci];
+      const double k = static_cast<double>(gamma[c]) * is / R;
+      const std::int64_t base = (n * g.channels + c) * g.spatial;
+      for (std::int64_t j = 0; j < g.spatial; ++j) {
+        const double xhat = (xp[base + j] - m) * is;
+        dxp[base + j] = static_cast<float>(
+            k * (R * dyp[base + j] - sum_dy[ci] - xhat * sum_dy_xhat[ci]));
+      }
+    }
+  }
+}
+
+}  // namespace pooch::kernels

@@ -1,0 +1,23 @@
+// Training-mode batch normalization over the channel axis (axis 1).
+//
+// The backward pass recomputes the batch mean and inverse stddev from the
+// saved input instead of caching them: this keeps the per-layer preserved
+// state to exactly one feature map, the invariant the out-of-core planner
+// relies on (a `recompute`d BN input is sufficient to run its backward).
+#pragma once
+
+#include "kernels/attrs.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pooch::kernels {
+
+/// gamma/beta are rank-1 tensors of length C.
+void batchnorm_forward(const Tensor& x, const Tensor& gamma,
+                       const Tensor& beta, Tensor& y,
+                       const BatchNormAttrs& attrs);
+
+void batchnorm_backward(const Tensor& x, const Tensor& gamma,
+                        const Tensor& dy, Tensor* dx, Tensor& dgamma,
+                        Tensor& dbeta, const BatchNormAttrs& attrs);
+
+}  // namespace pooch::kernels

@@ -1,0 +1,182 @@
+#include "kernels/conv.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "kernels/im2col.hpp"
+#include "kernels/matmul.hpp"
+
+namespace pooch::kernels {
+
+namespace {
+
+struct ConvGeom {
+  std::int64_t batch = 0;
+  std::int64_t in_channels = 0;
+  Triple in{1, 1, 1};
+  Triple out{1, 1, 1};
+  std::int64_t groups = 1;
+  std::int64_t cg = 0;  // input channels per group
+  std::int64_t og = 0;  // output channels per group
+  ColGeom col;          // geometry of one group's column buffer
+
+  std::int64_t in_sample_stride() const {
+    return in_channels * in[0] * in[1] * in[2];
+  }
+  std::int64_t out_sample_stride(std::int64_t out_channels) const {
+    return out_channels * out[0] * out[1] * out[2];
+  }
+};
+
+ConvGeom make_geom(const Shape& x_shape, const ConvAttrs& a) {
+  POOCH_CHECK_MSG(a.spatial_rank == 2 || a.spatial_rank == 3,
+                  "spatial_rank must be 2 or 3");
+  const int want_rank = a.spatial_rank + 2;
+  POOCH_CHECK_MSG(x_shape.rank() == want_rank,
+                  "conv input rank " << x_shape.rank() << " != " << want_rank);
+  ConvGeom g;
+  g.batch = x_shape[0];
+  g.in_channels = x_shape[1];
+  if (a.spatial_rank == 2) {
+    g.in = {1, x_shape[2], x_shape[3]};
+  } else {
+    g.in = {x_shape[2], x_shape[3], x_shape[4]};
+  }
+  for (int i = 0; i < 3; ++i) {
+    const std::int64_t o =
+        conv_out_extent(g.in[static_cast<std::size_t>(i)],
+                        a.kernel[static_cast<std::size_t>(i)],
+                        a.stride[static_cast<std::size_t>(i)],
+                        a.pad[static_cast<std::size_t>(i)]);
+    POOCH_CHECK_MSG(o >= 1, "conv output extent <= 0 on axis " << i);
+    g.out[static_cast<std::size_t>(i)] = o;
+  }
+  g.groups = a.groups;
+  POOCH_CHECK_MSG(g.in_channels % g.groups == 0,
+                  "in_channels " << g.in_channels << " not divisible by groups "
+                                 << g.groups);
+  POOCH_CHECK_MSG(a.out_channels % g.groups == 0,
+                  "out_channels " << a.out_channels
+                                  << " not divisible by groups " << g.groups);
+  g.cg = g.in_channels / g.groups;
+  g.og = a.out_channels / g.groups;
+  g.col.channels = g.cg;
+  g.col.in = g.in;
+  g.col.out = g.out;
+  g.col.kernel = a.kernel;
+  g.col.stride = a.stride;
+  g.col.pad = a.pad;
+  return g;
+}
+
+}  // namespace
+
+Shape conv_output_shape(const Shape& input_shape, const ConvAttrs& attrs) {
+  const ConvGeom g = make_geom(input_shape, attrs);
+  if (attrs.spatial_rank == 2) {
+    return Shape{g.batch, attrs.out_channels, g.out[1], g.out[2]};
+  }
+  return Shape{g.batch, attrs.out_channels, g.out[0], g.out[1], g.out[2]};
+}
+
+Shape conv_weight_shape(const Shape& input_shape, const ConvAttrs& attrs) {
+  const ConvGeom g = make_geom(input_shape, attrs);
+  if (attrs.spatial_rank == 2) {
+    return Shape{attrs.out_channels, g.cg, attrs.kernel[1], attrs.kernel[2]};
+  }
+  return Shape{attrs.out_channels, g.cg, attrs.kernel[0], attrs.kernel[1],
+               attrs.kernel[2]};
+}
+
+std::size_t conv_workspace_bytes(const Shape& input_shape,
+                                 const ConvAttrs& attrs) {
+  const ConvGeom g = make_geom(input_shape, attrs);
+  return static_cast<std::size_t>(g.col.rows() * g.col.cols()) * sizeof(float);
+}
+
+void conv_forward(const Tensor& x, const Tensor& w, const Tensor* bias,
+                  Tensor& y, const ConvAttrs& attrs) {
+  const ConvGeom g = make_geom(x.shape(), attrs);
+  POOCH_CHECK(y.shape() == conv_output_shape(x.shape(), attrs));
+  POOCH_CHECK(w.shape() == conv_weight_shape(x.shape(), attrs));
+  POOCH_CHECK(!attrs.has_bias || (bias && bias->numel() == attrs.out_channels));
+
+  const std::int64_t col_rows = g.col.rows();
+  const std::int64_t col_cols = g.col.cols();
+  std::vector<float> col(static_cast<std::size_t>(col_rows * col_cols));
+
+  const std::int64_t w_group_stride = g.og * col_rows;
+  const std::int64_t in_group_stride = g.cg * g.in[0] * g.in[1] * g.in[2];
+  const std::int64_t out_group_stride = g.og * col_cols;
+
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    const float* xin = x.data() + n * g.in_sample_stride();
+    float* yout = y.data() + n * g.out_sample_stride(attrs.out_channels);
+    for (std::int64_t grp = 0; grp < g.groups; ++grp) {
+      im2col(xin + grp * in_group_stride, col.data(), g.col);
+      matmul(w.data() + grp * w_group_stride, col.data(),
+             yout + grp * out_group_stride, g.og, col_rows, col_cols);
+    }
+    if (attrs.has_bias) {
+      for (std::int64_t o = 0; o < attrs.out_channels; ++o) {
+        const float b = (*bias)[o];
+        float* row = yout + o * col_cols;
+        for (std::int64_t j = 0; j < col_cols; ++j) row[j] += b;
+      }
+    }
+  }
+}
+
+void conv_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                   Tensor* dx, Tensor& dw, Tensor* dbias,
+                   const ConvAttrs& attrs) {
+  const ConvGeom g = make_geom(x.shape(), attrs);
+  POOCH_CHECK(dy.shape() == conv_output_shape(x.shape(), attrs));
+  POOCH_CHECK(dw.shape() == conv_weight_shape(x.shape(), attrs));
+  if (dx) POOCH_CHECK(dx->shape() == x.shape());
+
+  const std::int64_t col_rows = g.col.rows();
+  const std::int64_t col_cols = g.col.cols();
+  std::vector<float> col(static_cast<std::size_t>(col_rows * col_cols));
+  std::vector<float> col_grad;
+  if (dx) col_grad.resize(static_cast<std::size_t>(col_rows * col_cols));
+
+  dw.zero();
+  if (dx) dx->zero();
+  if (attrs.has_bias && dbias) dbias->zero();
+
+  const std::int64_t w_group_stride = g.og * col_rows;
+  const std::int64_t in_group_stride = g.cg * g.in[0] * g.in[1] * g.in[2];
+  const std::int64_t out_group_stride = g.og * col_cols;
+
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    const float* xin = x.data() + n * g.in_sample_stride();
+    const float* dyout = dy.data() + n * g.out_sample_stride(attrs.out_channels);
+    for (std::int64_t grp = 0; grp < g.groups; ++grp) {
+      // dW += dY_g (og, cols) * col^T (cols, rows)
+      im2col(xin + grp * in_group_stride, col.data(), g.col);
+      matmul_bt_acc(dyout + grp * out_group_stride, col.data(),
+                    dw.data() + grp * w_group_stride, g.og, col_cols, col_rows);
+      if (dx) {
+        // col_grad (rows, cols) = W_g^T (rows, og) * dY_g (og, cols)
+        matmul_at(w.data() + grp * w_group_stride,
+                  dyout + grp * out_group_stride, col_grad.data(), col_rows,
+                  g.og, col_cols);
+        col2im(col_grad.data(), dx->data() + n * g.in_sample_stride() +
+                                    grp * in_group_stride,
+               g.col);
+      }
+    }
+    if (attrs.has_bias && dbias) {
+      for (std::int64_t o = 0; o < attrs.out_channels; ++o) {
+        const float* row = dyout + o * col_cols;
+        float acc = 0.0f;
+        for (std::int64_t j = 0; j < col_cols; ++j) acc += row[j];
+        (*dbias)[o] += acc;
+      }
+    }
+  }
+}
+
+}  // namespace pooch::kernels

@@ -1,0 +1,34 @@
+// Grouped N-dimensional convolution (2-D and 3-D), forward and backward,
+// implemented with im2col + matmul per sample and group.
+//
+// Layouts:
+//   2-D: x (N,C,H,W),   w (O, C/g, Kh, Kw),     y (N,O,outH,outW)
+//   3-D: x (N,C,D,H,W), w (O, C/g, Kd, Kh, Kw), y (N,O,outD,outH,outW)
+//   bias (O), optional.
+#pragma once
+
+#include "kernels/attrs.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pooch::kernels {
+
+/// Shape of the convolution output for `input_shape` under `attrs`.
+Shape conv_output_shape(const Shape& input_shape, const ConvAttrs& attrs);
+
+/// Shape of the weight tensor for `input_shape` under `attrs`.
+Shape conv_weight_shape(const Shape& input_shape, const ConvAttrs& attrs);
+
+/// Scratch bytes (the im2col column buffer) the kernels allocate per call;
+/// the cost model charges this as cuDNN-style workspace.
+std::size_t conv_workspace_bytes(const Shape& input_shape,
+                                 const ConvAttrs& attrs);
+
+void conv_forward(const Tensor& x, const Tensor& w, const Tensor* bias,
+                  Tensor& y, const ConvAttrs& attrs);
+
+/// dx may be null when the input needs no gradient (network input).
+void conv_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                   Tensor* dx, Tensor& dw, Tensor* dbias,
+                   const ConvAttrs& attrs);
+
+}  // namespace pooch::kernels

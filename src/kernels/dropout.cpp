@@ -1,0 +1,49 @@
+#include "kernels/dropout.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pooch::kernels {
+
+namespace {
+
+std::uint64_t mix_key(const DropoutAttrs& attrs, std::uint64_t iteration) {
+  return counter_hash(attrs.key ^ 0x9d2c5680cafebabeULL, iteration);
+}
+
+}  // namespace
+
+void dropout_forward(const Tensor& x, Tensor& y, const DropoutAttrs& attrs,
+                     std::uint64_t iteration) {
+  POOCH_CHECK(y.shape() == x.shape());
+  POOCH_CHECK(attrs.rate >= 0.0f && attrs.rate < 1.0f);
+  const std::uint64_t key = mix_key(attrs, iteration);
+  const float keep = 1.0f - attrs.rate;
+  const float inv_keep = 1.0f / keep;
+  const float* xp = x.data();
+  float* yp = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const bool kept =
+        counter_uniform(key, static_cast<std::uint64_t>(i)) < keep;
+    yp[i] = kept ? xp[i] * inv_keep : 0.0f;
+  }
+}
+
+void dropout_backward(const Tensor& dy, Tensor& dx, const DropoutAttrs& attrs,
+                      std::uint64_t iteration) {
+  POOCH_CHECK(dx.shape() == dy.shape());
+  const std::uint64_t key = mix_key(attrs, iteration);
+  const float keep = 1.0f - attrs.rate;
+  const float inv_keep = 1.0f / keep;
+  const float* dyp = dy.data();
+  float* dxp = dx.data();
+  const std::int64_t n = dy.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const bool kept =
+        counter_uniform(key, static_cast<std::uint64_t>(i)) < keep;
+    dxp[i] = kept ? dyp[i] * inv_keep : 0.0f;
+  }
+}
+
+}  // namespace pooch::kernels

@@ -1,0 +1,23 @@
+// Inverted dropout with a counter-based (stateless) mask.
+//
+// The mask for element i is a pure function of (layer key, iteration, i),
+// so re-running the forward pass during recomputation regenerates the
+// identical mask — no mask tensor is stored, and `recompute` stays exact
+// even through stochastic layers.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/attrs.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pooch::kernels {
+
+void dropout_forward(const Tensor& x, Tensor& y, const DropoutAttrs& attrs,
+                     std::uint64_t iteration);
+
+/// dx = dy masked with the regenerated mask.
+void dropout_backward(const Tensor& dy, Tensor& dx, const DropoutAttrs& attrs,
+                      std::uint64_t iteration);
+
+}  // namespace pooch::kernels

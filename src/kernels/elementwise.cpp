@@ -1,0 +1,97 @@
+#include "kernels/elementwise.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace pooch::kernels {
+
+void add_forward(const Tensor& a, const Tensor& b, Tensor& y) {
+  POOCH_CHECK(a.shape() == b.shape() && y.shape() == a.shape());
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* yp = y.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) yp[i] = ap[i] + bp[i];
+}
+
+void add_backward(const Tensor& dy, Tensor& da, Tensor& db) {
+  POOCH_CHECK(da.shape() == dy.shape() && db.shape() == dy.shape());
+  const std::size_t bytes =
+      static_cast<std::size_t>(dy.numel()) * sizeof(float);
+  std::memcpy(da.data(), dy.data(), bytes);
+  std::memcpy(db.data(), dy.data(), bytes);
+}
+
+Shape concat_output_shape(const std::vector<const Tensor*>& inputs) {
+  POOCH_CHECK_MSG(!inputs.empty(), "concat needs at least one input");
+  const Shape& first = inputs[0]->shape();
+  std::int64_t channels = 0;
+  for (const Tensor* t : inputs) {
+    POOCH_CHECK(t->shape().rank() == first.rank());
+    for (int i = 0; i < first.rank(); ++i) {
+      if (i == 1) continue;
+      POOCH_CHECK_MSG(t->shape()[i] == first[i],
+                      "concat extent mismatch on axis " << i);
+    }
+    channels += t->shape()[1];
+  }
+  return first.with_dim(1, channels);
+}
+
+void concat_forward(const std::vector<const Tensor*>& inputs, Tensor& y) {
+  POOCH_CHECK(y.shape() == concat_output_shape(inputs));
+  const Shape& ys = y.shape();
+  std::int64_t spatial = 1;
+  for (int i = 2; i < ys.rank(); ++i) spatial *= ys[i];
+  const std::int64_t batch = ys[0];
+  const std::int64_t out_c = ys[1];
+  float* yp = y.data();
+  std::int64_t c_off = 0;
+  for (const Tensor* t : inputs) {
+    const std::int64_t tc = t->shape()[1];
+    const float* tp = t->data();
+    for (std::int64_t n = 0; n < batch; ++n) {
+      std::memcpy(yp + (n * out_c + c_off) * spatial,
+                  tp + n * tc * spatial,
+                  static_cast<std::size_t>(tc * spatial) * sizeof(float));
+    }
+    c_off += tc;
+  }
+}
+
+void concat_backward(const Tensor& dy, const std::vector<Tensor*>& dinputs) {
+  const Shape& ys = dy.shape();
+  std::int64_t spatial = 1;
+  for (int i = 2; i < ys.rank(); ++i) spatial *= ys[i];
+  const std::int64_t batch = ys[0];
+  const std::int64_t out_c = ys[1];
+  const float* dyp = dy.data();
+  std::int64_t c_off = 0;
+  for (Tensor* t : dinputs) {
+    const std::int64_t tc = t->shape()[1];
+    float* tp = t->data();
+    for (std::int64_t n = 0; n < batch; ++n) {
+      std::memcpy(tp + n * tc * spatial,
+                  dyp + (n * out_c + c_off) * spatial,
+                  static_cast<std::size_t>(tc * spatial) * sizeof(float));
+    }
+    c_off += tc;
+  }
+  POOCH_CHECK(c_off == out_c);
+}
+
+void flatten_forward(const Tensor& x, Tensor& y) {
+  POOCH_CHECK(y.shape() == x.shape().flatten2d());
+  std::memcpy(y.data(), x.data(),
+              static_cast<std::size_t>(x.numel()) * sizeof(float));
+}
+
+void flatten_backward(const Shape& input_shape, const Tensor& dy, Tensor& dx) {
+  POOCH_CHECK(dx.shape() == input_shape);
+  POOCH_CHECK(dy.numel() == dx.numel());
+  std::memcpy(dx.data(), dy.data(),
+              static_cast<std::size_t>(dy.numel()) * sizeof(float));
+}
+
+}  // namespace pooch::kernels

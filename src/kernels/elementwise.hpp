@@ -1,0 +1,27 @@
+// Elementwise / structural ops: residual add, channel concat, flatten.
+// None of them need any saved feature map in backward.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pooch::kernels {
+
+/// y = a + b.
+void add_forward(const Tensor& a, const Tensor& b, Tensor& y);
+
+/// Both inputs receive dy unchanged; provided for symmetry/clarity.
+void add_backward(const Tensor& dy, Tensor& da, Tensor& db);
+
+/// Concatenate along the channel axis (axis 1). All inputs share every
+/// other extent.
+Shape concat_output_shape(const std::vector<const Tensor*>& inputs);
+void concat_forward(const std::vector<const Tensor*>& inputs, Tensor& y);
+void concat_backward(const Tensor& dy, const std::vector<Tensor*>& dinputs);
+
+/// Flatten to (N, rest): a pure copy with a reshaped view.
+void flatten_forward(const Tensor& x, Tensor& y);
+void flatten_backward(const Shape& input_shape, const Tensor& dy, Tensor& dx);
+
+}  // namespace pooch::kernels

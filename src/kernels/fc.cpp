@@ -1,0 +1,67 @@
+#include "kernels/fc.hpp"
+
+#include "common/error.hpp"
+#include "kernels/matmul.hpp"
+
+namespace pooch::kernels {
+
+Shape fc_output_shape(const Shape& input_shape, const FcAttrs& attrs) {
+  const Shape flat = input_shape.flatten2d();
+  POOCH_CHECK(attrs.out_features > 0);
+  return Shape{flat[0], attrs.out_features};
+}
+
+Shape fc_weight_shape(const Shape& input_shape, const FcAttrs& attrs) {
+  const Shape flat = input_shape.flatten2d();
+  return Shape{attrs.out_features, flat[1]};
+}
+
+void fc_forward(const Tensor& x, const Tensor& w, const Tensor* bias,
+                Tensor& y, const FcAttrs& attrs) {
+  const Shape flat = x.shape().flatten2d();
+  const std::int64_t batch = flat[0];
+  const std::int64_t in_f = flat[1];
+  const std::int64_t out_f = attrs.out_features;
+  POOCH_CHECK(y.shape() == fc_output_shape(x.shape(), attrs));
+  POOCH_CHECK(w.shape() == fc_weight_shape(x.shape(), attrs));
+  POOCH_CHECK(!attrs.has_bias || (bias && bias->numel() == out_f));
+
+  // y = x (N,In) * W^T (In,Out): use matmul_bt via accumulate-into-zero.
+  y.zero();
+  matmul_bt_acc(x.data(), w.data(), y.data(), batch, in_f, out_f);
+  if (attrs.has_bias) {
+    float* yp = y.data();
+    for (std::int64_t n = 0; n < batch; ++n) {
+      for (std::int64_t o = 0; o < out_f; ++o) yp[n * out_f + o] += (*bias)[o];
+    }
+  }
+}
+
+void fc_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                 Tensor* dx, Tensor& dw, Tensor* dbias, const FcAttrs& attrs) {
+  const Shape flat = x.shape().flatten2d();
+  const std::int64_t batch = flat[0];
+  const std::int64_t in_f = flat[1];
+  const std::int64_t out_f = attrs.out_features;
+  POOCH_CHECK(dy.shape() == fc_output_shape(x.shape(), attrs));
+  POOCH_CHECK(dw.shape() == fc_weight_shape(x.shape(), attrs));
+  if (dx) POOCH_CHECK(dx->shape() == x.shape());
+
+  // dW (Out,In) = dY^T (Out,N) * X (N,In)
+  matmul_at(dy.data(), x.data(), dw.data(), out_f, batch, in_f);
+  if (dx) {
+    // dX (N,In) = dY (N,Out) * W (Out,In)
+    matmul(dy.data(), w.data(), dx->data(), batch, out_f, in_f);
+  }
+  if (attrs.has_bias && dbias) {
+    dbias->zero();
+    const float* dyp = dy.data();
+    for (std::int64_t n = 0; n < batch; ++n) {
+      for (std::int64_t o = 0; o < out_f; ++o) {
+        (*dbias)[o] += dyp[n * out_f + o];
+      }
+    }
+  }
+}
+
+}  // namespace pooch::kernels

@@ -1,0 +1,19 @@
+// Fully-connected layer: y(N,Out) = x(N,In) * W^T(In,Out) + b.
+// Inputs of higher rank are treated as flattened to (N, numel/N).
+#pragma once
+
+#include "kernels/attrs.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pooch::kernels {
+
+Shape fc_output_shape(const Shape& input_shape, const FcAttrs& attrs);
+Shape fc_weight_shape(const Shape& input_shape, const FcAttrs& attrs);
+
+void fc_forward(const Tensor& x, const Tensor& w, const Tensor* bias,
+                Tensor& y, const FcAttrs& attrs);
+
+void fc_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                 Tensor* dx, Tensor& dw, Tensor* dbias, const FcAttrs& attrs);
+
+}  // namespace pooch::kernels

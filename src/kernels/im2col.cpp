@@ -1,0 +1,66 @@
+#include "kernels/im2col.hpp"
+
+#include <cstring>
+
+namespace pooch::kernels {
+
+namespace {
+
+// Shared traversal: calls fn(col_index, input_index) for every in-bounds
+// (column entry, input element) pair and zero_fn(col_index) for padding.
+template <typename Body, typename PadBody>
+void for_each_col_entry(const ColGeom& g, Body body, PadBody pad_body) {
+  const std::int64_t in_d = g.in[0], in_h = g.in[1], in_w = g.in[2];
+  const std::int64_t out_d = g.out[0], out_h = g.out[1], out_w = g.out[2];
+  const std::int64_t cols = g.cols();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    for (std::int64_t kd = 0; kd < g.kernel[0]; ++kd) {
+      for (std::int64_t kh = 0; kh < g.kernel[1]; ++kh) {
+        for (std::int64_t kw = 0; kw < g.kernel[2]; ++kw, ++row) {
+          const std::int64_t row_base = row * cols;
+          std::int64_t col_idx = row_base;
+          for (std::int64_t od = 0; od < out_d; ++od) {
+            const std::int64_t id = od * g.stride[0] - g.pad[0] + kd;
+            const bool d_ok = id >= 0 && id < in_d;
+            for (std::int64_t oh = 0; oh < out_h; ++oh) {
+              const std::int64_t ih = oh * g.stride[1] - g.pad[1] + kh;
+              const bool h_ok = ih >= 0 && ih < in_h;
+              if (!d_ok || !h_ok) {
+                for (std::int64_t ow = 0; ow < out_w; ++ow, ++col_idx) {
+                  pad_body(col_idx);
+                }
+                continue;
+              }
+              const std::int64_t in_base = ((c * in_d + id) * in_h + ih) * in_w;
+              for (std::int64_t ow = 0; ow < out_w; ++ow, ++col_idx) {
+                const std::int64_t iw = ow * g.stride[2] - g.pad[2] + kw;
+                if (iw >= 0 && iw < in_w) {
+                  body(col_idx, in_base + iw);
+                } else {
+                  pad_body(col_idx);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void im2col(const float* input, float* col, const ColGeom& g) {
+  for_each_col_entry(
+      g, [&](std::int64_t ci, std::int64_t ii) { col[ci] = input[ii]; },
+      [&](std::int64_t ci) { col[ci] = 0.0f; });
+}
+
+void col2im(const float* col, float* input_grad, const ColGeom& g) {
+  for_each_col_entry(
+      g, [&](std::int64_t ci, std::int64_t ii) { input_grad[ii] += col[ci]; },
+      [](std::int64_t) {});
+}
+
+}  // namespace pooch::kernels

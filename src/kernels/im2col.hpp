@@ -1,0 +1,42 @@
+// im2col / col2im for up-to-3 spatial dimensions.
+//
+// Layout: input channel block is (C, D, H, W) for one sample; the column
+// matrix is (C * Kd * Kh * Kw) rows by (outD * outH * outW) columns, row
+// major — exactly the operand layout the conv kernels feed into matmul.
+// 2-D convolutions pass D = Kd = outD = 1.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/attrs.hpp"
+
+namespace pooch::kernels {
+
+struct ColGeom {
+  std::int64_t channels = 0;
+  Triple in{1, 1, 1};   // input spatial extents (D, H, W)
+  Triple out{1, 1, 1};  // output spatial extents
+  Triple kernel{1, 1, 1};
+  Triple stride{1, 1, 1};
+  Triple pad{0, 0, 0};
+
+  std::int64_t rows() const {
+    return channels * kernel[0] * kernel[1] * kernel[2];
+  }
+  std::int64_t cols() const { return out[0] * out[1] * out[2]; }
+};
+
+/// Output spatial extent for one axis.
+constexpr std::int64_t conv_out_extent(std::int64_t in, std::int64_t kernel,
+                                       std::int64_t stride, std::int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+/// Expand `input` (one sample's channel block) into `col` (rows() x cols()).
+void im2col(const float* input, float* col, const ColGeom& g);
+
+/// Scatter-add `col` back into `input_grad` (must be zeroed by the caller
+/// if accumulation from a clean slate is wanted).
+void col2im(const float* col, float* input_grad, const ColGeom& g);
+
+}  // namespace pooch::kernels

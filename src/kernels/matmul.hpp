@@ -1,0 +1,29 @@
+// Dense single-precision matrix multiply on raw pointers.
+//
+// These are the innermost loops of the conv/fc kernels. They are written
+// as straightforward cache-friendly ikj loops: the reproduction verifies
+// scheduler behaviour, not GEMM throughput (layer *times* come from the
+// roofline cost model, not from wall clock).
+#pragma once
+
+#include <cstdint>
+
+namespace pooch::kernels {
+
+/// C(m,n) = A(m,k) * B(k,n); C is overwritten.
+void matmul(const float* a, const float* b, float* c, std::int64_t m,
+            std::int64_t k, std::int64_t n);
+
+/// C(m,n) += A(m,k) * B(k,n).
+void matmul_acc(const float* a, const float* b, float* c, std::int64_t m,
+                std::int64_t k, std::int64_t n);
+
+/// C(m,n) = A^T(m,k) * B(k,n) where A is stored (k,m).
+void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n);
+
+/// C(m,n) += A(m,k) * B^T(k,n) where B is stored (n,k).
+void matmul_bt_acc(const float* a, const float* b, float* c, std::int64_t m,
+                   std::int64_t k, std::int64_t n);
+
+}  // namespace pooch::kernels

@@ -1,0 +1,202 @@
+#include "kernels/pool.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "kernels/im2col.hpp"
+
+namespace pooch::kernels {
+
+namespace {
+
+struct PoolGeom {
+  std::int64_t batch = 0;
+  std::int64_t channels = 0;
+  Triple in{1, 1, 1};
+  Triple out{1, 1, 1};
+};
+
+PoolGeom make_geom(const Shape& x_shape, const PoolAttrs& a) {
+  POOCH_CHECK(a.spatial_rank == 2 || a.spatial_rank == 3);
+  const int want_rank = a.spatial_rank + 2;
+  POOCH_CHECK_MSG(x_shape.rank() == want_rank,
+                  "pool input rank " << x_shape.rank() << " != " << want_rank);
+  PoolGeom g;
+  g.batch = x_shape[0];
+  g.channels = x_shape[1];
+  if (a.spatial_rank == 2) {
+    g.in = {1, x_shape[2], x_shape[3]};
+  } else {
+    g.in = {x_shape[2], x_shape[3], x_shape[4]};
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    g.out[i] = conv_out_extent(g.in[i], a.kernel[i], a.stride[i], a.pad[i]);
+    POOCH_CHECK(g.out[i] >= 1);
+  }
+  return g;
+}
+
+// Iterate pooling windows; body(plane_in, plane_out, out_index,
+// window_begin/end per axis) per (n, c).
+template <typename Body>
+void for_each_window(const PoolGeom& g, const PoolAttrs& a, Body body) {
+  const std::int64_t plane_in_sz = g.in[0] * g.in[1] * g.in[2];
+  const std::int64_t plane_out_sz = g.out[0] * g.out[1] * g.out[2];
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t c = 0; c < g.channels; ++c) {
+      const std::int64_t in_base = (n * g.channels + c) * plane_in_sz;
+      const std::int64_t out_base = (n * g.channels + c) * plane_out_sz;
+      std::int64_t oi = 0;
+      for (std::int64_t od = 0; od < g.out[0]; ++od) {
+        const std::int64_t d0 = std::max<std::int64_t>(0, od * a.stride[0] - a.pad[0]);
+        const std::int64_t d1 = std::min(g.in[0], od * a.stride[0] - a.pad[0] + a.kernel[0]);
+        for (std::int64_t oh = 0; oh < g.out[1]; ++oh) {
+          const std::int64_t h0 = std::max<std::int64_t>(0, oh * a.stride[1] - a.pad[1]);
+          const std::int64_t h1 = std::min(g.in[1], oh * a.stride[1] - a.pad[1] + a.kernel[1]);
+          for (std::int64_t ow = 0; ow < g.out[2]; ++ow, ++oi) {
+            const std::int64_t w0 = std::max<std::int64_t>(0, ow * a.stride[2] - a.pad[2]);
+            const std::int64_t w1 = std::min(g.in[2], ow * a.stride[2] - a.pad[2] + a.kernel[2]);
+            body(in_base, out_base + oi, d0, d1, h0, h1, w0, w1);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Shape pool_output_shape(const Shape& input_shape, const PoolAttrs& attrs) {
+  const PoolGeom g = make_geom(input_shape, attrs);
+  if (attrs.spatial_rank == 2) {
+    return Shape{g.batch, g.channels, g.out[1], g.out[2]};
+  }
+  return Shape{g.batch, g.channels, g.out[0], g.out[1], g.out[2]};
+}
+
+void pool_forward(const Tensor& x, Tensor& y, const PoolAttrs& attrs) {
+  const PoolGeom g = make_geom(x.shape(), attrs);
+  POOCH_CHECK(y.shape() == pool_output_shape(x.shape(), attrs));
+  const float* xp = x.data();
+  float* yp = y.data();
+  const std::int64_t hw = g.in[1] * g.in[2];
+  for_each_window(
+      g, attrs,
+      [&](std::int64_t in_base, std::int64_t out_idx, std::int64_t d0,
+          std::int64_t d1, std::int64_t h0, std::int64_t h1, std::int64_t w0,
+          std::int64_t w1) {
+        if (attrs.mode == PoolMode::kMax) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int64_t d = d0; d < d1; ++d) {
+            for (std::int64_t h = h0; h < h1; ++h) {
+              const std::int64_t row = in_base + d * hw + h * g.in[2];
+              for (std::int64_t w = w0; w < w1; ++w) {
+                best = std::max(best, xp[row + w]);
+              }
+            }
+          }
+          yp[out_idx] = best;
+        } else {
+          // cuDNN-style "exclude padding" averaging over the valid window.
+          double acc = 0.0;
+          std::int64_t count = 0;
+          for (std::int64_t d = d0; d < d1; ++d) {
+            for (std::int64_t h = h0; h < h1; ++h) {
+              const std::int64_t row = in_base + d * hw + h * g.in[2];
+              for (std::int64_t w = w0; w < w1; ++w) {
+                acc += xp[row + w];
+                ++count;
+              }
+            }
+          }
+          yp[out_idx] =
+              count > 0 ? static_cast<float>(acc / static_cast<double>(count))
+                        : 0.0f;
+        }
+      });
+}
+
+void pool_backward(const Tensor& x, const Tensor& dy, Tensor& dx,
+                   const PoolAttrs& attrs) {
+  const PoolGeom g = make_geom(x.shape(), attrs);
+  POOCH_CHECK(dy.shape() == pool_output_shape(x.shape(), attrs));
+  POOCH_CHECK(dx.shape() == x.shape());
+  dx.zero();
+  const float* xp = x.data();
+  const float* dyp = dy.data();
+  float* dxp = dx.data();
+  const std::int64_t hw = g.in[1] * g.in[2];
+  for_each_window(
+      g, attrs,
+      [&](std::int64_t in_base, std::int64_t out_idx, std::int64_t d0,
+          std::int64_t d1, std::int64_t h0, std::int64_t h1, std::int64_t w0,
+          std::int64_t w1) {
+        if (attrs.mode == PoolMode::kMax) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = -1;
+          for (std::int64_t d = d0; d < d1; ++d) {
+            for (std::int64_t h = h0; h < h1; ++h) {
+              const std::int64_t row = in_base + d * hw + h * g.in[2];
+              for (std::int64_t w = w0; w < w1; ++w) {
+                if (xp[row + w] > best) {
+                  best = xp[row + w];
+                  best_idx = row + w;
+                }
+              }
+            }
+          }
+          if (best_idx >= 0) dxp[best_idx] += dyp[out_idx];
+        } else {
+          std::int64_t count =
+              (d1 - d0) * (h1 - h0) * (w1 - w0);
+          if (count <= 0) return;
+          const float share = dyp[out_idx] / static_cast<float>(count);
+          for (std::int64_t d = d0; d < d1; ++d) {
+            for (std::int64_t h = h0; h < h1; ++h) {
+              const std::int64_t row = in_base + d * hw + h * g.in[2];
+              for (std::int64_t w = w0; w < w1; ++w) dxp[row + w] += share;
+            }
+          }
+        }
+      });
+}
+
+Shape global_avg_pool_output_shape(const Shape& input_shape) {
+  POOCH_CHECK(input_shape.rank() >= 3);
+  return Shape{input_shape[0], input_shape[1]};
+}
+
+void global_avg_pool_forward(const Tensor& x, Tensor& y) {
+  const Shape& s = x.shape();
+  POOCH_CHECK(y.shape() == global_avg_pool_output_shape(s));
+  std::int64_t spatial = 1;
+  for (int i = 2; i < s.rank(); ++i) spatial *= s[i];
+  const float* xp = x.data();
+  float* yp = y.data();
+  const std::int64_t nc = s[0] * s[1];
+  for (std::int64_t i = 0; i < nc; ++i) {
+    double acc = 0.0;
+    const float* row = xp + i * spatial;
+    for (std::int64_t j = 0; j < spatial; ++j) acc += row[j];
+    yp[i] = static_cast<float>(acc / static_cast<double>(spatial));
+  }
+}
+
+void global_avg_pool_backward(const Shape& input_shape, const Tensor& dy,
+                              Tensor& dx) {
+  POOCH_CHECK(dx.shape() == input_shape);
+  POOCH_CHECK(dy.shape() == global_avg_pool_output_shape(input_shape));
+  std::int64_t spatial = 1;
+  for (int i = 2; i < input_shape.rank(); ++i) spatial *= input_shape[i];
+  const float* dyp = dy.data();
+  float* dxp = dx.data();
+  const std::int64_t nc = input_shape[0] * input_shape[1];
+  for (std::int64_t i = 0; i < nc; ++i) {
+    const float share = dyp[i] / static_cast<float>(spatial);
+    float* row = dxp + i * spatial;
+    for (std::int64_t j = 0; j < spatial; ++j) row[j] = share;
+  }
+}
+
+}  // namespace pooch::kernels

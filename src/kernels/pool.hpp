@@ -1,0 +1,29 @@
+// Max / average pooling for 2 and 3 spatial dimensions.
+//
+// The backward pass recomputes the max argmax from the saved input
+// (first-maximum-wins tie break), so only the layer *input* needs to be
+// preserved or recomputed — matching what the out-of-core planner assumes.
+// Average pooling needs neither input nor output, only shapes.
+#pragma once
+
+#include "kernels/attrs.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pooch::kernels {
+
+Shape pool_output_shape(const Shape& input_shape, const PoolAttrs& attrs);
+
+void pool_forward(const Tensor& x, Tensor& y, const PoolAttrs& attrs);
+
+/// `x` is required for max pooling only; pass the saved/recomputed input.
+void pool_backward(const Tensor& x, const Tensor& dy, Tensor& dx,
+                   const PoolAttrs& attrs);
+
+/// Global average pooling: (N,C,spatial...) -> (N,C). Backward is
+/// shape-only (uniform redistribution).
+Shape global_avg_pool_output_shape(const Shape& input_shape);
+void global_avg_pool_forward(const Tensor& x, Tensor& y);
+void global_avg_pool_backward(const Shape& input_shape, const Tensor& dy,
+                              Tensor& dx);
+
+}  // namespace pooch::kernels

@@ -1,0 +1,73 @@
+#include "kernels/softmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pooch::kernels {
+
+namespace {
+
+void check_args(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  POOCH_CHECK_MSG(logits.shape().rank() == 2, "logits must be (N, C)");
+  POOCH_CHECK(static_cast<std::int64_t>(labels.size()) == logits.shape()[0]);
+  for (std::int64_t l : labels) {
+    POOCH_CHECK_MSG(l >= 0 && l < logits.shape()[1], "label out of range");
+  }
+}
+
+}  // namespace
+
+void softmax_xent_forward(const Tensor& logits,
+                          const std::vector<std::int64_t>& labels,
+                          Tensor& loss) {
+  check_args(logits, labels);
+  POOCH_CHECK(loss.numel() == 1);
+  const std::int64_t batch = logits.shape()[0];
+  const std::int64_t classes = logits.shape()[1];
+  const float* xp = logits.data();
+  double acc = 0.0;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* row = xp + n * classes;
+    const float mx = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      denom += std::exp(static_cast<double>(row[c] - mx));
+    }
+    const double logp =
+        static_cast<double>(row[labels[static_cast<std::size_t>(n)]] - mx) -
+        std::log(denom);
+    acc -= logp;
+  }
+  loss[0] = static_cast<float>(acc / static_cast<double>(batch));
+}
+
+void softmax_xent_backward(const Tensor& logits,
+                           const std::vector<std::int64_t>& labels,
+                           const Tensor& dloss, Tensor& dlogits) {
+  check_args(logits, labels);
+  POOCH_CHECK(dloss.numel() == 1);
+  POOCH_CHECK(dlogits.shape() == logits.shape());
+  const std::int64_t batch = logits.shape()[0];
+  const std::int64_t classes = logits.shape()[1];
+  const float* xp = logits.data();
+  float* gp = dlogits.data();
+  const float gscale = dloss[0] / static_cast<float>(batch);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* row = xp + n * classes;
+    float* grow = gp + n * classes;
+    const float mx = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      denom += std::exp(static_cast<double>(row[c] - mx));
+    }
+    for (std::int64_t c = 0; c < classes; ++c) {
+      const double p = std::exp(static_cast<double>(row[c] - mx)) / denom;
+      grow[c] = static_cast<float>(p) * gscale;
+    }
+    grow[labels[static_cast<std::size_t>(n)]] -= gscale;
+  }
+}
+
+}  // namespace pooch::kernels

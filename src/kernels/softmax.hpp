@@ -1,0 +1,27 @@
+// Softmax cross-entropy loss against integer class labels.
+//
+// Forward maps logits (N, C) to a single mean-loss scalar (shape {1}).
+// Backward recomputes the softmax probabilities from the saved logits, so
+// — as with batchnorm — the only preserved feature map is the layer input.
+// Labels are supplied out of band by the executing runtime (they live on
+// the host and never participate in the out-of-core planning).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pooch::kernels {
+
+/// loss = mean over batch of -log softmax(x)[label].
+void softmax_xent_forward(const Tensor& logits,
+                          const std::vector<std::int64_t>& labels,
+                          Tensor& loss);
+
+/// dlogits = (softmax(x) - onehot(label)) * dloss / N.
+void softmax_xent_backward(const Tensor& logits,
+                           const std::vector<std::int64_t>& labels,
+                           const Tensor& dloss, Tensor& dlogits);
+
+}  // namespace pooch::kernels

@@ -1,0 +1,137 @@
+#include "mem/arena.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace pooch::mem {
+
+Arena::Arena(std::size_t capacity, std::size_t alignment)
+    : capacity_(capacity), alignment_(alignment) {
+  POOCH_CHECK_MSG(alignment_ > 0 && (alignment_ & (alignment_ - 1)) == 0,
+                  "alignment must be a power of two");
+  capacity_ = capacity / alignment_ * alignment_;
+  stats_.capacity = capacity_;
+  stats_.free_bytes = capacity_;
+  if (capacity_ > 0) free_blocks_.emplace(0, capacity_);
+}
+
+std::size_t Arena::align_up(std::size_t bytes) const {
+  if (bytes == 0) bytes = 1;
+  return (bytes + alignment_ - 1) / alignment_ * alignment_;
+}
+
+std::optional<Offset> Arena::allocate(std::size_t bytes, AllocSide side) {
+  const std::size_t need = align_up(bytes);
+  auto chosen = free_blocks_.end();
+  if (side == AllocSide::kBottom) {
+    // Best fit: smallest free block that holds `need` (ties resolve to
+    // the lowest offset by iteration order).
+    for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+      if (it->second < need) continue;
+      if (chosen == free_blocks_.end() || it->second < chosen->second) {
+        chosen = it;
+      }
+      if (it->second == need) break;  // exact fit cannot be beaten
+    }
+  } else {
+    // Topmost fit: the highest-addressed free block that holds `need`.
+    for (auto it = free_blocks_.rbegin(); it != free_blocks_.rend(); ++it) {
+      if (it->second >= need) {
+        chosen = std::prev(it.base());
+        break;
+      }
+    }
+  }
+  if (chosen == free_blocks_.end()) {
+    ++stats_.failed_allocs;
+    return std::nullopt;
+  }
+  const Offset block_offset = chosen->first;
+  const std::size_t block = chosen->second;
+  free_blocks_.erase(chosen);
+  Offset offset;
+  if (side == AllocSide::kBottom) {
+    offset = block_offset;
+    if (block > need) free_blocks_.emplace(offset + need, block - need);
+  } else {
+    offset = block_offset + block - need;
+    if (block > need) free_blocks_.emplace(block_offset, block - need);
+  }
+  allocated_.emplace(offset, need);
+  stats_.in_use += need;
+  stats_.free_bytes -= need;
+  stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+  ++stats_.alloc_count;
+  return offset;
+}
+
+void Arena::free(Offset offset) {
+  auto it = allocated_.find(offset);
+  POOCH_CHECK_MSG(it != allocated_.end(),
+                  "freeing unallocated offset " << offset);
+  std::size_t begin = offset;
+  std::size_t length = it->second;
+  allocated_.erase(it);
+  stats_.in_use -= length;
+  stats_.free_bytes += length;
+  ++stats_.free_count;
+
+  // Coalesce with the following free block.
+  auto next = free_blocks_.lower_bound(begin);
+  if (next != free_blocks_.end() && begin + length == next->first) {
+    length += next->second;
+    next = free_blocks_.erase(next);
+  }
+  // Coalesce with the preceding free block.
+  if (next != free_blocks_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == begin) {
+      begin = prev->first;
+      length += prev->second;
+      free_blocks_.erase(prev);
+    }
+  }
+  free_blocks_.emplace(begin, length);
+}
+
+std::size_t Arena::block_size(Offset offset) const {
+  auto it = allocated_.find(offset);
+  POOCH_CHECK_MSG(it != allocated_.end(), "unknown offset " << offset);
+  return it->second;
+}
+
+std::size_t Arena::largest_free_block() const {
+  std::size_t best = 0;
+  for (const auto& [off, len] : free_blocks_) best = std::max(best, len);
+  return best;
+}
+
+const ArenaStats& Arena::stats() const {
+  stats_.largest_free_block = largest_free_block();
+  return stats_;
+}
+
+void Arena::reset() {
+  allocated_.clear();
+  free_blocks_.clear();
+  if (capacity_ > 0) free_blocks_.emplace(0, capacity_);
+  stats_.in_use = 0;
+  stats_.free_bytes = capacity_;
+}
+
+std::string Arena::debug_string() const {
+  std::ostringstream os;
+  os << "arena capacity=" << format_bytes(capacity_)
+     << " in_use=" << format_bytes(stats_.in_use)
+     << " free=" << format_bytes(stats_.free_bytes)
+     << " largest_free=" << format_bytes(largest_free_block())
+     << " allocs=" << stats_.alloc_count << " frees=" << stats_.free_count
+     << "\n";
+  os << "  allocated blocks: " << allocated_.size()
+     << ", free blocks: " << free_blocks_.size() << "\n";
+  return os.str();
+}
+
+}  // namespace pooch::mem

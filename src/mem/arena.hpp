@@ -1,0 +1,87 @@
+// Fixed-capacity device-memory arena with a best-fit free list.
+//
+// This models the GPU memory pool whose malloc/free order PoocH's profiler
+// records (§4.2: "The sizes and order of malloc/free operations on GPU
+// memory"). Blocks are carved out of a contiguous address range with
+// splitting and neighbour coalescing, so external fragmentation is real:
+// two classifications with the same total footprint can differ in
+// feasibility — the effect behind the paper's cross-environment OOM
+// (§5.2, running the POWER9 classification on the x86 machine).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace pooch::mem {
+
+using Offset = std::size_t;
+
+struct ArenaStats {
+  std::size_t capacity = 0;
+  std::size_t in_use = 0;
+  std::size_t peak_in_use = 0;
+  std::size_t free_bytes = 0;
+  std::size_t largest_free_block = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t free_count = 0;
+  std::uint64_t failed_allocs = 0;
+
+  /// 0 when empty or unfragmented; approaches 1 as free space shatters.
+  double fragmentation() const {
+    if (free_bytes == 0) return 0.0;
+    return 1.0 - static_cast<double>(largest_free_block) /
+                     static_cast<double>(free_bytes);
+  }
+};
+
+/// Placement policy for an allocation. Long-lived buffers grow from the
+/// bottom of the address range and short-lived ones from the top — the
+/// classic two-ended scheme deep-learning allocators use to keep
+/// transient churn from fragmenting the resident set.
+enum class AllocSide { kBottom, kTop };
+
+class Arena {
+ public:
+  explicit Arena(std::size_t capacity, std::size_t alignment = 256);
+
+  /// Returns the block offset, or nullopt when no free block is large
+  /// enough (the simulated cudaMalloc failure). kBottom placements are
+  /// best-fit (ties to the lowest offset); kTop placements carve from
+  /// the top of the highest free block that fits.
+  std::optional<Offset> allocate(std::size_t bytes,
+                                 AllocSide side = AllocSide::kBottom);
+
+  /// Return a block. Offset must come from allocate().
+  void free(Offset offset);
+
+  /// Size of an allocated block (after alignment rounding).
+  std::size_t block_size(Offset offset) const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t in_use() const { return stats_.in_use; }
+  std::size_t free_bytes() const { return stats_.free_bytes; }
+  std::size_t largest_free_block() const;
+  const ArenaStats& stats() const;
+
+  /// Release everything (end of iteration); statistics persist.
+  void reset();
+
+  /// Multi-line dump of the block map, for OOM diagnostics.
+  std::string debug_string() const;
+
+ private:
+  std::size_t align_up(std::size_t bytes) const;
+
+  std::size_t capacity_;
+  std::size_t alignment_;
+  // offset -> length; disjoint, sorted. Separate maps for free/allocated.
+  std::map<Offset, std::size_t> free_blocks_;
+  std::map<Offset, std::size_t> allocated_;
+  mutable ArenaStats stats_;
+};
+
+}  // namespace pooch::mem

@@ -1,0 +1,34 @@
+// Host (CPU) memory accounting for swapped-out feature maps.
+//
+// Swap destinations are pinned-host buffers in the real system; here we
+// track bytes against the machine's host capacity (192 GB on the x86 box,
+// 1 TB on POWER9) so a pathological classification that over-swaps is
+// detected rather than silently accepted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pooch::mem {
+
+class HostPool {
+ public:
+  explicit HostPool(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Reserve `bytes`; returns false when host memory would be exceeded.
+  bool reserve(std::size_t bytes);
+  void release(std::size_t bytes);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t in_use() const { return in_use_; }
+  std::size_t peak_in_use() const { return peak_in_use_; }
+
+  void reset();
+
+ private:
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::size_t peak_in_use_ = 0;
+};
+
+}  // namespace pooch::mem

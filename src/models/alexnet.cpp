@@ -1,0 +1,63 @@
+#include "models/models.hpp"
+
+namespace pooch::models {
+
+using graph::Graph;
+using graph::LayerKind;
+
+// AlexNet as in Krizhevsky et al. 2012 (single-column variant): five
+// convolutions with large early kernels and three giant fully-connected
+// layers. The paper uses it as the "large computation complexity per
+// feature map" workload for which swapping is almost free (§5.1).
+Graph alexnet(std::int64_t batch, std::int64_t classes) {
+  Graph g;
+  auto x = g.add_input(Shape{batch, 3, 227, 227}, "input");
+
+  x = g.add(LayerKind::kConv, ConvAttrs::conv2d(96, 11, 4, 0), {x}, "conv1");
+  x = g.add(LayerKind::kReLU, std::monostate{}, {x}, "relu1");
+  x = g.add(LayerKind::kMaxPool, PoolAttrs::pool2d(PoolMode::kMax, 3, 2), {x},
+            "pool1");
+
+  x = g.add(LayerKind::kConv, ConvAttrs::conv2d(256, 5, 1, 2), {x}, "conv2");
+  x = g.add(LayerKind::kReLU, std::monostate{}, {x}, "relu2");
+  x = g.add(LayerKind::kMaxPool, PoolAttrs::pool2d(PoolMode::kMax, 3, 2), {x},
+            "pool2");
+
+  x = g.add(LayerKind::kConv, ConvAttrs::conv2d(384, 3, 1, 1), {x}, "conv3");
+  x = g.add(LayerKind::kReLU, std::monostate{}, {x}, "relu3");
+  x = g.add(LayerKind::kConv, ConvAttrs::conv2d(384, 3, 1, 1), {x}, "conv4");
+  x = g.add(LayerKind::kReLU, std::monostate{}, {x}, "relu4");
+  x = g.add(LayerKind::kConv, ConvAttrs::conv2d(256, 3, 1, 1), {x}, "conv5");
+  x = g.add(LayerKind::kReLU, std::monostate{}, {x}, "relu5");
+  x = g.add(LayerKind::kMaxPool, PoolAttrs::pool2d(PoolMode::kMax, 3, 2), {x},
+            "pool5");
+
+  x = g.add(LayerKind::kFlatten, std::monostate{}, {x}, "flatten");
+
+  FcAttrs fc6;
+  fc6.out_features = 4096;
+  x = g.add(LayerKind::kFullyConnected, fc6, {x}, "fc6");
+  x = g.add(LayerKind::kReLU, std::monostate{}, {x}, "relu6");
+  DropoutAttrs d6;
+  d6.rate = 0.5f;
+  d6.key = 6;
+  x = g.add(LayerKind::kDropout, d6, {x}, "drop6");
+
+  FcAttrs fc7;
+  fc7.out_features = 4096;
+  x = g.add(LayerKind::kFullyConnected, fc7, {x}, "fc7");
+  x = g.add(LayerKind::kReLU, std::monostate{}, {x}, "relu7");
+  DropoutAttrs d7;
+  d7.rate = 0.5f;
+  d7.key = 7;
+  x = g.add(LayerKind::kDropout, d7, {x}, "drop7");
+
+  FcAttrs fc8;
+  fc8.out_features = classes;
+  x = g.add(LayerKind::kFullyConnected, fc8, {x}, "fc8");
+  g.add(LayerKind::kSoftmaxLoss, std::monostate{}, {x}, "loss");
+  g.validate();
+  return g;
+}
+
+}  // namespace pooch::models

@@ -1,0 +1,64 @@
+#include "models/models.hpp"
+
+#include <string>
+
+namespace pooch::models {
+
+using graph::Graph;
+using graph::LayerKind;
+using graph::ValueId;
+
+namespace {
+
+// GoogLeNet-style module: four parallel branches concatenated on channels.
+ValueId inception_module(Graph& g, ValueId x, std::int64_t c1,
+                         std::int64_t c3, std::int64_t c5, std::int64_t cp,
+                         const std::string& name) {
+  ValueId b1 = g.add(LayerKind::kConv, ConvAttrs::conv2d(c1, 1, 1, 0), {x},
+                     name + ".b1");
+  b1 = g.add(LayerKind::kReLU, std::monostate{}, {b1}, name + ".b1.relu");
+
+  ValueId b3 = g.add(LayerKind::kConv, ConvAttrs::conv2d(c3, 3, 1, 1), {x},
+                     name + ".b3");
+  b3 = g.add(LayerKind::kReLU, std::monostate{}, {b3}, name + ".b3.relu");
+
+  ValueId b5 = g.add(LayerKind::kConv, ConvAttrs::conv2d(c5, 5, 1, 2), {x},
+                     name + ".b5");
+  b5 = g.add(LayerKind::kReLU, std::monostate{}, {b5}, name + ".b5.relu");
+
+  ValueId bp = g.add(LayerKind::kMaxPool,
+                     PoolAttrs::pool2d(PoolMode::kMax, 3, 1, 1), {x},
+                     name + ".bp.pool");
+  bp = g.add(LayerKind::kConv, ConvAttrs::conv2d(cp, 1, 1, 0), {bp},
+             name + ".bp");
+  bp = g.add(LayerKind::kReLU, std::monostate{}, {bp}, name + ".bp.relu");
+
+  return g.add(LayerKind::kConcat, std::monostate{}, {b1, b3, b5, bp},
+               name + ".concat");
+}
+
+}  // namespace
+
+Graph inception_toy(std::int64_t batch, std::int64_t image,
+                    std::int64_t classes) {
+  Graph g;
+  ValueId x = g.add_input(Shape{batch, 3, image, image}, "input");
+  x = g.add(LayerKind::kConv, ConvAttrs::conv2d(32, 3, 1, 1), {x}, "stem");
+  x = g.add(LayerKind::kBatchNorm, BatchNormAttrs{}, {x}, "stem.bn");
+  x = g.add(LayerKind::kReLU, std::monostate{}, {x}, "stem.relu");
+  x = g.add(LayerKind::kMaxPool, PoolAttrs::pool2d(PoolMode::kMax, 2, 2), {x},
+            "stem.pool");
+  x = inception_module(g, x, 16, 32, 8, 8, "inc1");
+  x = g.add(LayerKind::kMaxPool, PoolAttrs::pool2d(PoolMode::kMax, 2, 2), {x},
+            "pool1");
+  x = inception_module(g, x, 32, 48, 12, 12, "inc2");
+  x = g.add(LayerKind::kGlobalAvgPool, std::monostate{}, {x}, "gap");
+  FcAttrs head;
+  head.out_features = classes;
+  x = g.add(LayerKind::kFullyConnected, head, {x}, "fc");
+  g.add(LayerKind::kSoftmaxLoss, std::monostate{}, {x}, "loss");
+  g.validate();
+  return g;
+}
+
+}  // namespace pooch::models

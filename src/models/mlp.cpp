@@ -1,0 +1,30 @@
+#include "models/models.hpp"
+
+namespace pooch::models {
+
+using graph::Graph;
+using graph::LayerKind;
+
+Graph mlp(std::int64_t batch, std::int64_t in_features,
+          const std::vector<std::int64_t>& hidden, std::int64_t classes) {
+  Graph g;
+  auto x = g.add_input(Shape{batch, in_features}, "input");
+  int i = 0;
+  for (std::int64_t width : hidden) {
+    FcAttrs fc;
+    fc.out_features = width;
+    x = g.add(LayerKind::kFullyConnected, fc, {x},
+              "fc" + std::to_string(i));
+    x = g.add(LayerKind::kReLU, std::monostate{}, {x},
+              "relu" + std::to_string(i));
+    ++i;
+  }
+  FcAttrs head;
+  head.out_features = classes;
+  x = g.add(LayerKind::kFullyConnected, head, {x}, "head");
+  g.add(LayerKind::kSoftmaxLoss, std::monostate{}, {x}, "loss");
+  g.validate();
+  return g;
+}
+
+}  // namespace pooch::models

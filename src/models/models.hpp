@@ -1,0 +1,57 @@
+// Model zoo: builders for every network the paper evaluates plus small
+// synthetic nets used by tests and examples.
+//
+// All builders return a validated Graph whose final node is a softmax
+// cross-entropy loss, so a graph is always a complete training iteration.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace pooch::models {
+
+/// Fully-connected net: in -> hidden... -> classes. For unit tests.
+graph::Graph mlp(std::int64_t batch, std::int64_t in_features,
+                 const std::vector<std::int64_t>& hidden,
+                 std::int64_t classes);
+
+/// Small VGG-style CNN (conv/bn/relu/pool stacks). For tests and the
+/// quickstart example; `width_mult` scales channel counts.
+graph::Graph small_cnn(std::int64_t batch, std::int64_t image = 32,
+                       std::int64_t width_mult = 1, std::int64_t classes = 10);
+
+/// AlexNet (Krizhevsky et al. 2012), 227x227 input.
+graph::Graph alexnet(std::int64_t batch, std::int64_t classes = 1000);
+
+/// VGG-16 (Simonyan & Zisserman 2015, configuration D), 224x224 input.
+/// Huge early feature maps and ~138M parameters — a classic out-of-core
+/// stressor beyond the paper's own workloads.
+graph::Graph vgg16(std::int64_t batch, std::int64_t image = 224,
+                   std::int64_t classes = 1000);
+
+/// ResNet-18 (BasicBlock), 224x224 input. For fast integration tests.
+graph::Graph resnet18(std::int64_t batch, std::int64_t image = 224,
+                      std::int64_t classes = 1000);
+
+/// ResNet-50 (Bottleneck), 224x224 input — the paper's main workload.
+graph::Graph resnet50(std::int64_t batch, std::int64_t image = 224,
+                      std::int64_t classes = 1000);
+
+/// ResNeXt-101 (3D, cardinality 32), per Hara et al. 2018 — the paper's
+/// video workload; batch is typically 1, memory scales with frames/size.
+graph::Graph resnext101_3d(std::int64_t batch, std::int64_t frames,
+                           std::int64_t image, std::int64_t classes = 400);
+
+/// Small branchy Inception-style net exercising concat + parallel branches
+/// (the "complex NNs with many branches such as GoogLeNet" case, §4.2).
+graph::Graph inception_toy(std::int64_t batch, std::int64_t image = 64,
+                           std::int64_t classes = 10);
+
+/// The 8-layer chain from the paper's running example (Figures 2, 7,
+/// 10-13): alternating heavy (conv) and light (batchnorm) layers so swap
+/// overlap behaviour is easy to see on a timeline.
+graph::Graph paper_example(std::int64_t batch = 32, std::int64_t image = 56,
+                           std::int64_t channels = 64);
+
+}  // namespace pooch::models

@@ -1,0 +1,40 @@
+#include "models/models.hpp"
+
+#include <string>
+
+namespace pooch::models {
+
+using graph::Graph;
+using graph::LayerKind;
+using graph::ValueId;
+
+// The 8-layer running example of the paper's figures: a linear chain that
+// alternates compute-heavy convolutions with bandwidth-bound batchnorms.
+// Light layers near the output make the tail swap-outs impossible to hide
+// (the L_O = {5,6,7} situation of Figure 11).
+Graph paper_example(std::int64_t batch, std::int64_t image,
+                    std::int64_t channels) {
+  Graph g;
+  ValueId x = g.add_input(Shape{batch, 3, image, image}, "input");
+  x = g.add(LayerKind::kConv,
+            ConvAttrs::conv2d(channels, 3, 1, 1, 1, false), {x}, "l0.conv");
+  for (int i = 1; i < 8; ++i) {
+    const std::string tag = "l" + std::to_string(i);
+    if (i < 5) {
+      x = g.add(LayerKind::kConv,
+                ConvAttrs::conv2d(channels, 3, 1, 1, 1, false), {x},
+                tag + ".conv");
+    } else {
+      x = g.add(LayerKind::kBatchNorm, BatchNormAttrs{}, {x}, tag + ".bn");
+    }
+  }
+  x = g.add(LayerKind::kGlobalAvgPool, std::monostate{}, {x}, "gap");
+  FcAttrs head;
+  head.out_features = 10;
+  x = g.add(LayerKind::kFullyConnected, head, {x}, "fc");
+  g.add(LayerKind::kSoftmaxLoss, std::monostate{}, {x}, "loss");
+  g.validate();
+  return g;
+}
+
+}  // namespace pooch::models

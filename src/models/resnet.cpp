@@ -1,0 +1,112 @@
+#include "models/models.hpp"
+
+#include <string>
+
+namespace pooch::models {
+
+using graph::Graph;
+using graph::LayerKind;
+using graph::ValueId;
+
+namespace {
+
+ValueId conv_bn(Graph& g, ValueId x, std::int64_t out_c, std::int64_t k,
+                std::int64_t stride, std::int64_t pad,
+                const std::string& name) {
+  x = g.add(LayerKind::kConv,
+            ConvAttrs::conv2d(out_c, k, stride, pad, 1, /*bias=*/false), {x},
+            name + ".conv");
+  return g.add(LayerKind::kBatchNorm, BatchNormAttrs{}, {x}, name + ".bn");
+}
+
+ValueId conv_bn_relu(Graph& g, ValueId x, std::int64_t out_c, std::int64_t k,
+                     std::int64_t stride, std::int64_t pad,
+                     const std::string& name) {
+  x = conv_bn(g, x, out_c, k, stride, pad, name);
+  return g.add(LayerKind::kReLU, std::monostate{}, {x}, name + ".relu");
+}
+
+// Bottleneck residual block (ResNet-50/101/152): 1x1 reduce, 3x3, 1x1
+// expand, projection shortcut when the shape changes.
+ValueId bottleneck(Graph& g, ValueId x, std::int64_t mid_c, std::int64_t out_c,
+                   std::int64_t stride, bool project,
+                   const std::string& name) {
+  ValueId shortcut = x;
+  if (project) {
+    shortcut = conv_bn(g, x, out_c, 1, stride, 0, name + ".proj");
+  }
+  ValueId y = conv_bn_relu(g, x, mid_c, 1, 1, 0, name + ".a");
+  y = conv_bn_relu(g, y, mid_c, 3, stride, 1, name + ".b");
+  y = conv_bn(g, y, out_c, 1, 1, 0, name + ".c");
+  y = g.add(LayerKind::kAdd, std::monostate{}, {y, shortcut}, name + ".add");
+  return g.add(LayerKind::kReLU, std::monostate{}, {y}, name + ".relu");
+}
+
+// BasicBlock (ResNet-18/34): two 3x3 convolutions.
+ValueId basic_block(Graph& g, ValueId x, std::int64_t out_c,
+                    std::int64_t stride, bool project,
+                    const std::string& name) {
+  ValueId shortcut = x;
+  if (project) {
+    shortcut = conv_bn(g, x, out_c, 1, stride, 0, name + ".proj");
+  }
+  ValueId y = conv_bn_relu(g, x, out_c, 3, stride, 1, name + ".a");
+  y = conv_bn(g, y, out_c, 3, 1, 1, name + ".b");
+  y = g.add(LayerKind::kAdd, std::monostate{}, {y, shortcut}, name + ".add");
+  return g.add(LayerKind::kReLU, std::monostate{}, {y}, name + ".relu");
+}
+
+ValueId resnet_stem(Graph& g, ValueId x) {
+  x = conv_bn_relu(g, x, 64, 7, 2, 3, "stem");
+  return g.add(LayerKind::kMaxPool, PoolAttrs::pool2d(PoolMode::kMax, 3, 2, 1),
+               {x}, "stem.pool");
+}
+
+Graph resnet_head(Graph&& g, ValueId x, std::int64_t classes) {
+  x = g.add(LayerKind::kGlobalAvgPool, std::monostate{}, {x}, "gap");
+  FcAttrs head;
+  head.out_features = classes;
+  x = g.add(LayerKind::kFullyConnected, head, {x}, "fc");
+  g.add(LayerKind::kSoftmaxLoss, std::monostate{}, {x}, "loss");
+  g.validate();
+  return std::move(g);
+}
+
+}  // namespace
+
+Graph resnet18(std::int64_t batch, std::int64_t image, std::int64_t classes) {
+  Graph g;
+  ValueId x = g.add_input(Shape{batch, 3, image, image}, "input");
+  x = resnet_stem(g, x);
+  const std::int64_t widths[4] = {64, 128, 256, 512};
+  const int blocks[4] = {2, 2, 2, 2};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < blocks[stage]; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      const bool project = b == 0 && (stage > 0 || widths[stage] != 64);
+      x = basic_block(g, x, widths[stage], stride, project,
+                      "s" + std::to_string(stage) + ".b" + std::to_string(b));
+    }
+  }
+  return resnet_head(std::move(g), x, classes);
+}
+
+Graph resnet50(std::int64_t batch, std::int64_t image, std::int64_t classes) {
+  Graph g;
+  ValueId x = g.add_input(Shape{batch, 3, image, image}, "input");
+  x = resnet_stem(g, x);
+  const std::int64_t mids[4] = {64, 128, 256, 512};
+  const std::int64_t outs[4] = {256, 512, 1024, 2048};
+  const int blocks[4] = {3, 4, 6, 3};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < blocks[stage]; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      const bool project = b == 0;
+      x = bottleneck(g, x, mids[stage], outs[stage], stride, project,
+                     "s" + std::to_string(stage) + ".b" + std::to_string(b));
+    }
+  }
+  return resnet_head(std::move(g), x, classes);
+}
+
+}  // namespace pooch::models

@@ -1,0 +1,83 @@
+#include "models/models.hpp"
+
+#include <string>
+
+namespace pooch::models {
+
+using graph::Graph;
+using graph::LayerKind;
+using graph::ValueId;
+
+namespace {
+
+ValueId conv_bn_3d(Graph& g, ValueId x, const ConvAttrs& attrs,
+                   const std::string& name) {
+  x = g.add(LayerKind::kConv, attrs, {x}, name + ".conv");
+  return g.add(LayerKind::kBatchNorm, BatchNormAttrs{}, {x}, name + ".bn");
+}
+
+// ResNeXt 3-D bottleneck (Hara et al. 2018): 1x1x1 reduce, grouped 3x3x3
+// (cardinality 32), 1x1x1 expand.
+ValueId resnext_block(Graph& g, ValueId x, std::int64_t mid_c,
+                      std::int64_t out_c, std::int64_t stride, bool project,
+                      const std::string& name) {
+  ValueId shortcut = x;
+  if (project) {
+    ConvAttrs proj = ConvAttrs::conv3d(out_c, 1, stride, 0, 1, false);
+    shortcut = conv_bn_3d(g, x, proj, name + ".proj");
+  }
+  ValueId y = conv_bn_3d(g, x, ConvAttrs::conv3d(mid_c, 1, 1, 0, 1, false),
+                         name + ".a");
+  y = g.add(LayerKind::kReLU, std::monostate{}, {y}, name + ".a.relu");
+  y = conv_bn_3d(g, y, ConvAttrs::conv3d(mid_c, 3, stride, 1, 32, false),
+                 name + ".b");
+  y = g.add(LayerKind::kReLU, std::monostate{}, {y}, name + ".b.relu");
+  y = conv_bn_3d(g, y, ConvAttrs::conv3d(out_c, 1, 1, 0, 1, false),
+                 name + ".c");
+  y = g.add(LayerKind::kAdd, std::monostate{}, {y, shortcut}, name + ".add");
+  return g.add(LayerKind::kReLU, std::monostate{}, {y}, name + ".relu");
+}
+
+}  // namespace
+
+Graph resnext101_3d(std::int64_t batch, std::int64_t frames,
+                    std::int64_t image, std::int64_t classes) {
+  Graph g;
+  ValueId x = g.add_input(Shape{batch, 3, frames, image, image}, "input");
+
+  // Stem: 7x7x7 conv, stride (1,2,2), then 3x3x3 max pool stride 2.
+  ConvAttrs stem;
+  stem.spatial_rank = 3;
+  stem.out_channels = 64;
+  stem.kernel = {7, 7, 7};
+  stem.stride = {1, 2, 2};
+  stem.pad = {3, 3, 3};
+  stem.has_bias = false;
+  x = conv_bn_3d(g, x, stem, "stem");
+  x = g.add(LayerKind::kReLU, std::monostate{}, {x}, "stem.relu");
+  x = g.add(LayerKind::kMaxPool, PoolAttrs::pool3d(PoolMode::kMax, 3, 2, 1),
+            {x}, "stem.pool");
+
+  // ResNeXt-101 (32x4d flavour): stages of 3/4/23/3 blocks.
+  const std::int64_t mids[4] = {128, 256, 512, 1024};
+  const std::int64_t outs[4] = {256, 512, 1024, 2048};
+  const int blocks[4] = {3, 4, 23, 3};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < blocks[stage]; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      const bool project = b == 0;
+      x = resnext_block(g, x, mids[stage], outs[stage], stride, project,
+                        "s" + std::to_string(stage) + ".b" + std::to_string(b));
+    }
+  }
+
+  x = g.add(LayerKind::kGlobalAvgPool, std::monostate{}, {x}, "gap");
+  FcAttrs head;
+  head.out_features = classes;
+  x = g.add(LayerKind::kFullyConnected, head, {x}, "fc");
+  g.add(LayerKind::kSoftmaxLoss, std::monostate{}, {x}, "loss");
+  g.validate();
+  return g;
+}
+
+}  // namespace pooch::models

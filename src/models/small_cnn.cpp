@@ -1,0 +1,33 @@
+#include "models/models.hpp"
+
+namespace pooch::models {
+
+using graph::Graph;
+using graph::LayerKind;
+
+Graph small_cnn(std::int64_t batch, std::int64_t image,
+                std::int64_t width_mult, std::int64_t classes) {
+  Graph g;
+  auto x = g.add_input(Shape{batch, 3, image, image}, "input");
+  const std::int64_t widths[3] = {16 * width_mult, 32 * width_mult,
+                                  64 * width_mult};
+  for (int stage = 0; stage < 3; ++stage) {
+    const std::string tag = "s" + std::to_string(stage);
+    x = g.add(LayerKind::kConv,
+              ConvAttrs::conv2d(widths[stage], 3, 1, 1, 1, /*bias=*/false),
+              {x}, tag + ".conv");
+    x = g.add(LayerKind::kBatchNorm, BatchNormAttrs{}, {x}, tag + ".bn");
+    x = g.add(LayerKind::kReLU, std::monostate{}, {x}, tag + ".relu");
+    x = g.add(LayerKind::kMaxPool, PoolAttrs::pool2d(PoolMode::kMax, 2, 2),
+              {x}, tag + ".pool");
+  }
+  x = g.add(LayerKind::kGlobalAvgPool, std::monostate{}, {x}, "gap");
+  FcAttrs head;
+  head.out_features = classes;
+  x = g.add(LayerKind::kFullyConnected, head, {x}, "head");
+  g.add(LayerKind::kSoftmaxLoss, std::monostate{}, {x}, "loss");
+  g.validate();
+  return g;
+}
+
+}  // namespace pooch::models

@@ -1,0 +1,52 @@
+#include "models/models.hpp"
+
+#include <string>
+
+namespace pooch::models {
+
+using graph::Graph;
+using graph::LayerKind;
+using graph::ValueId;
+
+// VGG-16 (configuration D): 13 3x3 convolutions in five pooled stages
+// plus three fully-connected layers. A classic out-of-core stressor —
+// huge early feature maps (64 channels at full resolution) and ~138M
+// parameters.
+Graph vgg16(std::int64_t batch, std::int64_t image, std::int64_t classes) {
+  Graph g;
+  ValueId x = g.add_input(Shape{batch, 3, image, image}, "input");
+  const std::int64_t widths[5] = {64, 128, 256, 512, 512};
+  const int convs[5] = {2, 2, 3, 3, 3};
+  for (int stage = 0; stage < 5; ++stage) {
+    for (int c = 0; c < convs[stage]; ++c) {
+      const std::string tag =
+          "s" + std::to_string(stage) + ".c" + std::to_string(c);
+      x = g.add(LayerKind::kConv, ConvAttrs::conv2d(widths[stage], 3, 1, 1),
+                {x}, tag);
+      x = g.add(LayerKind::kReLU, std::monostate{}, {x}, tag + ".relu");
+    }
+    x = g.add(LayerKind::kMaxPool, PoolAttrs::pool2d(PoolMode::kMax, 2, 2),
+              {x}, "s" + std::to_string(stage) + ".pool");
+  }
+  x = g.add(LayerKind::kFlatten, std::monostate{}, {x}, "flatten");
+  for (int i = 0; i < 2; ++i) {
+    FcAttrs fc;
+    fc.out_features = 4096;
+    x = g.add(LayerKind::kFullyConnected, fc, {x},
+              "fc" + std::to_string(6 + i));
+    x = g.add(LayerKind::kReLU, std::monostate{}, {x},
+              "relu" + std::to_string(6 + i));
+    DropoutAttrs d;
+    d.rate = 0.5f;
+    d.key = static_cast<std::uint64_t>(6 + i);
+    x = g.add(LayerKind::kDropout, d, {x}, "drop" + std::to_string(6 + i));
+  }
+  FcAttrs head;
+  head.out_features = classes;
+  x = g.add(LayerKind::kFullyConnected, head, {x}, "fc8");
+  g.add(LayerKind::kSoftmaxLoss, std::monostate{}, {x}, "loss");
+  g.validate();
+  return g;
+}
+
+}  // namespace pooch::models

@@ -1,0 +1,129 @@
+#include "pooch/adaptive.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "graph/autodiff.hpp"
+
+namespace pooch::planner {
+
+struct AdaptivePlanner::Bucket {
+  std::int64_t size = 0;
+  graph::Graph g;
+  std::vector<graph::BwdStep> tape;
+  std::unique_ptr<sim::CostTimeModel> hardware;
+  std::unique_ptr<sim::Runtime> runtime;
+  PlannerResult plan;
+  bool planned = false;
+  bool plan_ok = false;
+};
+
+AdaptivePlanner::AdaptivePlanner(GraphFactory factory,
+                                 cost::MachineConfig machine,
+                                 AdaptiveOptions options)
+    : factory_(std::move(factory)),
+      machine_(std::move(machine)),
+      options_(std::move(options)) {
+  POOCH_CHECK_MSG(!options_.bucket_sizes.empty(),
+                  "at least one bucket size is required");
+  std::sort(options_.bucket_sizes.begin(), options_.bucket_sizes.end());
+  POOCH_CHECK_MSG(std::adjacent_find(options_.bucket_sizes.begin(),
+                                     options_.bucket_sizes.end()) ==
+                      options_.bucket_sizes.end(),
+                  "duplicate bucket sizes");
+  if (options_.plan_eagerly) prepare();
+}
+
+AdaptivePlanner::~AdaptivePlanner() = default;
+
+std::int64_t AdaptivePlanner::bucket_for(std::int64_t problem_size) const {
+  const auto it = std::lower_bound(options_.bucket_sizes.begin(),
+                                   options_.bucket_sizes.end(), problem_size);
+  return it == options_.bucket_sizes.end() ? -1 : *it;
+}
+
+AdaptivePlanner::Bucket& AdaptivePlanner::ensure_bucket(
+    std::int64_t bucket_size, bool* planned_now) {
+  auto it = buckets_.find(bucket_size);
+  if (it == buckets_.end()) {
+    auto bucket = std::make_unique<Bucket>();
+    bucket->size = bucket_size;
+    bucket->g = factory_(bucket_size);
+    bucket->g.validate();
+    bucket->tape = graph::build_backward_tape(bucket->g);
+    bucket->hardware =
+        std::make_unique<sim::CostTimeModel>(bucket->g, machine_);
+    bucket->runtime = std::make_unique<sim::Runtime>(
+        bucket->g, bucket->tape, machine_, *bucket->hardware);
+    it = buckets_.emplace(bucket_size, std::move(bucket)).first;
+  }
+  Bucket& b = *it->second;
+  if (!b.planned) {
+    // Profile + classify once; every iteration in this bucket reuses it.
+    const auto out = run_pooch(b.g, b.tape, machine_, *b.hardware,
+                               options_.pipeline);
+    b.plan = out.plan;
+    b.plan_ok = out.ok;
+    b.planned = true;
+    ++stats_.buckets_planned;
+    stats_.planning_wall_seconds += b.plan.planning_wall_seconds;
+    if (planned_now) *planned_now = true;
+    POOCH_LOG_INFO("adaptive: planned bucket " << bucket_size << " ("
+                                               << (b.plan_ok ? "ok" : "OOM")
+                                               << ")");
+  }
+  return b;
+}
+
+void AdaptivePlanner::prepare() {
+  for (std::int64_t size : options_.bucket_sizes) {
+    ensure_bucket(size, nullptr);
+  }
+}
+
+const PlannerResult& AdaptivePlanner::plan_for_bucket(
+    std::int64_t bucket_size) const {
+  const auto it = buckets_.find(bucket_size);
+  POOCH_CHECK_MSG(it != buckets_.end() && it->second->planned,
+                  "bucket " << bucket_size << " has not been planned");
+  return it->second->plan;
+}
+
+AdaptiveIteration AdaptivePlanner::run_iteration(std::int64_t problem_size,
+                                                 std::uint64_t iteration) {
+  AdaptiveIteration result;
+  result.requested_size = problem_size;
+  const std::int64_t bucket_size = bucket_for(problem_size);
+  if (bucket_size < 0) {
+    result.failure = "problem size exceeds the largest bucket";
+    return result;
+  }
+  result.bucket_size = bucket_size;
+
+  bool planned_now = false;
+  Bucket& b = ensure_bucket(bucket_size, &planned_now);
+  result.planned_now = planned_now;
+  if (!b.plan_ok) {
+    result.failure = "bucket plan infeasible (device too small)";
+    return result;
+  }
+
+  sim::RunOptions ro;
+  ro.iteration = iteration;
+  const sim::RunResult r = execute_plan(*b.runtime, b.plan, ro);
+  if (!r.ok) {
+    result.failure = r.failure;
+    return result;
+  }
+  result.ok = true;
+  result.iteration_time = r.iteration_time;
+  result.effective_throughput =
+      static_cast<double>(problem_size) / r.iteration_time;
+  ++stats_.iterations_run;
+  stats_.requested_items += problem_size;
+  stats_.padded_items += bucket_size;
+  return result;
+}
+
+}  // namespace pooch::planner

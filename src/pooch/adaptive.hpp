@@ -1,0 +1,104 @@
+// Variable problem sizes — the paper's stated future work (§7):
+//   "The current version of PoocH targets only NNs that compute the same
+//    problem size in each learning iteration. As future work, we will
+//    extend PoocH in order to deal with NNs whose problem sizes change
+//    for each iteration."
+//
+// The standard production answer is bucketing: plan once per size bucket
+// (each bucket is its own graph + classification + schedule, cached
+// lazily), and run every incoming iteration under the smallest bucket
+// that holds it, padding the batch. Planning cost is amortized across
+// all iterations that share a bucket; padding wastes compute but keeps
+// the per-bucket memory behaviour exactly as planned.
+//
+// AdaptivePlanner implements that, plus the two obvious reference
+// policies the example compares against (replan-every-iteration and one
+// max-size plan).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "pooch/pipeline.hpp"
+
+namespace pooch::planner {
+
+/// Builds the training graph for a given problem size (e.g. batch size
+/// or sequence length).
+using GraphFactory = std::function<graph::Graph(std::int64_t size)>;
+
+struct AdaptiveOptions {
+  /// Bucket boundaries, ascending. An iteration of size s runs under the
+  /// smallest bucket >= s; sizes above the largest bucket are rejected.
+  std::vector<std::int64_t> bucket_sizes;
+  /// Pipeline configuration used for every bucket's plan.
+  PipelineOptions pipeline;
+  /// Plan all buckets up front instead of on first use.
+  bool plan_eagerly = false;
+};
+
+struct AdaptiveIteration {
+  bool ok = false;
+  std::int64_t requested_size = 0;
+  std::int64_t bucket_size = 0;     // the padded size actually executed
+  double iteration_time = 0.0;      // of the padded iteration
+  double effective_throughput = 0;  // requested_size / iteration_time
+  bool planned_now = false;         // this call paid the planning cost
+  std::string failure;
+};
+
+struct AdaptiveStats {
+  int buckets_planned = 0;
+  double planning_wall_seconds = 0.0;  // summed over planned buckets
+  int iterations_run = 0;
+  std::int64_t requested_items = 0;
+  std::int64_t padded_items = 0;  // executed including padding
+
+  /// Fraction of executed work that was padding (0 = none).
+  double padding_overhead() const {
+    return padded_items > 0
+               ? 1.0 - static_cast<double>(requested_items) /
+                           static_cast<double>(padded_items)
+               : 0.0;
+  }
+};
+
+class AdaptivePlanner {
+ public:
+  AdaptivePlanner(GraphFactory factory, cost::MachineConfig machine,
+                  AdaptiveOptions options);
+  ~AdaptivePlanner();
+
+  /// Run one training iteration with the given problem size. Plans the
+  /// covering bucket on first use (unless plan_eagerly already did).
+  AdaptiveIteration run_iteration(std::int64_t problem_size,
+                                  std::uint64_t iteration = 0);
+
+  /// The bucket an incoming size would run under (-1 if none covers it).
+  std::int64_t bucket_for(std::int64_t problem_size) const;
+
+  /// Force-plan every bucket now.
+  void prepare();
+
+  /// The cached plan for a bucket size (must be exactly a bucket
+  /// boundary that has been planned).
+  const PlannerResult& plan_for_bucket(std::int64_t bucket_size) const;
+
+  const AdaptiveStats& stats() const { return stats_; }
+  const cost::MachineConfig& machine() const { return machine_; }
+
+ private:
+  struct Bucket;
+  Bucket& ensure_bucket(std::int64_t bucket_size, bool* planned_now);
+
+  GraphFactory factory_;
+  cost::MachineConfig machine_;
+  AdaptiveOptions options_;
+  std::map<std::int64_t, std::unique_ptr<Bucket>> buckets_;
+  AdaptiveStats stats_;
+};
+
+}  // namespace pooch::planner

@@ -1,0 +1,65 @@
+// End-to-end PoocH pipeline (paper §4.1.2):
+//   1. Profile a few swap-all training iterations.
+//   2. Classify every feature map (keep / swap / recompute) by searching
+//      with the timeline simulator over the profiled times.
+//   3. Execute training under the chosen classification.
+//
+// The pipeline binds the pieces the way the Chainer extension does, and
+// is what the examples and benches call.
+#pragma once
+
+#include "pooch/planner.hpp"
+#include "profile/profiler.hpp"
+
+namespace pooch::planner {
+
+struct PipelineOptions {
+  profile::ProfileOptions profile;
+  PlannerOptions planner;
+  /// Measure this many executed iterations after planning (averaged).
+  int measured_iterations = 1;
+};
+
+struct PipelineResult {
+  profile::ProfileData profile;
+  PlannerResult plan;
+  /// Execution of the planned classification on the ground-truth model.
+  sim::RunResult execution;
+  double iteration_time = 0.0;  // averaged over measured iterations
+  bool ok = false;
+
+  double throughput(std::int64_t batch) const {
+    return ok && iteration_time > 0.0
+               ? static_cast<double>(batch) / iteration_time
+               : 0.0;
+  }
+};
+
+/// Run profile -> classify -> execute on one (graph, machine) pair.
+/// `ground_truth` is the hardware model; profiling observes it with
+/// noise, the classifier plans on the profile, execution runs against
+/// the ground truth again.
+PipelineResult run_pooch(const graph::Graph& graph,
+                         const std::vector<graph::BwdStep>& tape,
+                         const cost::MachineConfig& machine,
+                         const sim::TimeModel& ground_truth,
+                         const PipelineOptions& options = {});
+
+/// Execute a planned classification with the standard fallback chain:
+/// replay the recorded swap-in schedule; if that OOMs (timing drift),
+/// fall back to dynamic memory-aware scheduling, then to on-demand
+/// swap-ins. Returns the first successful run (or the last failure).
+sim::RunResult execute_plan(const sim::Runtime& runtime,
+                            const PlannerResult& plan,
+                            sim::RunOptions options = {});
+
+/// Execute an externally supplied classification (used by the baselines
+/// and by the paper's cross-environment experiment in §5.2).
+sim::RunResult execute_classification(const graph::Graph& graph,
+                                      const std::vector<graph::BwdStep>& tape,
+                                      const cost::MachineConfig& machine,
+                                      const sim::TimeModel& ground_truth,
+                                      const sim::Classification& classes,
+                                      const sim::RunOptions& run_options);
+
+}  // namespace pooch::planner

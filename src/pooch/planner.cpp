@@ -1,0 +1,396 @@
+#include "pooch/planner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace pooch::planner {
+
+using graph::Graph;
+using graph::ValueId;
+using sim::Classification;
+using sim::ValueClass;
+
+namespace {
+
+cost::MachineConfig make_unbounded(const cost::MachineConfig& machine) {
+  cost::MachineConfig m = machine;
+  m.gpu_capacity_bytes = std::size_t{1} << 41;  // 2 TiB: never binds
+  m.gpu_reserved_bytes = 0;
+  m.host_capacity_bytes = std::size_t{1} << 42;
+  return m;
+}
+
+cost::MachineConfig with_safety_margin(const cost::MachineConfig& machine,
+                                       double margin) {
+  POOCH_CHECK_MSG(margin >= 0.0 && margin < 0.5,
+                  "safety margin out of range");
+  cost::MachineConfig m = machine;
+  m.gpu_reserved_bytes +=
+      static_cast<std::size_t>(static_cast<double>(m.gpu_capacity_bytes) *
+                               margin);
+  return m;
+}
+
+/// Sort value ids so the ones produced nearest the output come first —
+/// the scan order of the Figure-13 greedy.
+void sort_from_output_layer(std::vector<ValueId>& values, const Graph& g) {
+  std::sort(values.begin(), values.end(), [&](ValueId a, ValueId b) {
+    return g.value(a).producer > g.value(b).producer;
+  });
+}
+
+}  // namespace
+
+std::string PlannerResult::summary(const Graph& graph) const {
+  (void)graph;
+  std::ostringstream os;
+  os << "PoocH plan: " << (feasible ? "feasible" : "INFEASIBLE")
+     << ", predicted " << format_time(predicted_time) << ", peak "
+     << format_bytes(predicted_peak) << "\n"
+     << "  #keep=" << counts[0] << " #swap=" << counts[1]
+     << " #recompute=" << counts[2] << "\n"
+     << "  |L_O|=" << lo.size() << " |L_I|=" << li.size() << ", "
+     << simulations << " timeline simulations, " << recompute_rounds
+     << " recompute rounds"
+     << (used_beam_fallback ? ", beam fallback" : "") << ", "
+     << format_time(planning_wall_seconds) << " planning time\n";
+  return os.str();
+}
+
+PoochPlanner::PoochPlanner(const Graph& graph,
+                           const std::vector<graph::BwdStep>& tape,
+                           const cost::MachineConfig& machine,
+                           const sim::TimeModel& time_model,
+                           PlannerOptions options)
+    : graph_(graph),
+      tape_(tape),
+      machine_(with_safety_margin(machine, options.memory_safety_margin)),
+      tm_(time_model),
+      options_(options),
+      classifiable_(sim::classifiable_values(graph, tape)),
+      runtime_(graph_, tape_, machine_, time_model),
+      unbounded_machine_(make_unbounded(machine)),
+      unbounded_runtime_(graph, tape, unbounded_machine_, time_model) {}
+
+PoochPlanner::Eval PoochPlanner::evaluate(const Classification& classes,
+                                          bool unbounded,
+                                          int* sim_counter) const {
+  sim::RunOptions ro;
+  ro.swapin_policy = options_.policy;
+  ro.record_timeline = false;
+  const sim::RunResult r =
+      (unbounded ? unbounded_runtime_ : runtime_).run(classes, ro);
+  ++*sim_counter;
+  Eval e;
+  e.feasible = r.ok;
+  e.time = r.iteration_time;
+  e.peak = r.peak_bytes;
+  return e;
+}
+
+PlannerResult PoochPlanner::run_step1(int* sims) const {
+  PlannerResult result;
+
+  // 1. Simulate the safe default: everything swapped (§4.4.2 step 1).
+  Classification all_swap(graph_, ValueClass::kSwap);
+  sim::RunOptions ro;
+  ro.swapin_policy = options_.policy;
+  const sim::RunResult base = runtime_.run(all_swap, ro);
+  ++*sims;
+  if (!base.ok) {
+    // Even swap-all does not fit: report infeasibility with the safest
+    // classification; callers surface this as the paper's OOM outcome.
+    result.classes = all_swap;
+    result.feasible = false;
+    result.predicted_time = 0.0;
+    return result;
+  }
+
+  // 2. Extract the exposed swaps (Figure 11): L_O and L_I, restricted to
+  // the classifiable feature maps.
+  auto restrict = [&](const std::vector<ValueId>& in) {
+    std::vector<ValueId> out;
+    for (ValueId v : in) {
+      if (std::binary_search(classifiable_.begin(), classifiable_.end(), v)) {
+        out.push_back(v);
+      }
+    }
+    return out;
+  };
+  result.lo = restrict(base.unhidden_swapouts);
+  result.li = restrict(base.unhidden_swapins);
+
+  // Hidden swaps are final `swap` immediately; only L_O ∪ L_I is searched.
+  std::vector<ValueId> li = result.li;
+  std::vector<ValueId> lo_only;
+  for (ValueId v : result.lo) {
+    if (std::find(li.begin(), li.end(), v) == li.end()) lo_only.push_back(v);
+  }
+  sort_from_output_layer(lo_only, graph_);
+  sort_from_output_layer(li, graph_);
+
+  // Beam fallback above the exhaustive cap: truncate the enumerated tree
+  // by keeping only the most promising prefixes, level by level.
+  std::vector<std::vector<bool>> assignments;
+  if (static_cast<int>(li.size()) <= options_.bruteforce_cap) {
+    const std::size_t leaves = std::size_t{1} << li.size();
+    assignments.reserve(leaves);
+    for (std::size_t mask = 0; mask < leaves; ++mask) {
+      std::vector<bool> bits(li.size());
+      for (std::size_t i = 0; i < li.size(); ++i) bits[i] = (mask >> i) & 1;
+      assignments.push_back(std::move(bits));
+    }
+  } else {
+    result.used_beam_fallback = true;
+    std::vector<std::vector<bool>> beam{{}};
+    for (std::size_t level = 0; level < li.size(); ++level) {
+      std::vector<std::pair<double, std::vector<bool>>> scored;
+      for (const auto& prefix : beam) {
+        for (bool bit : {false, true}) {
+          std::vector<bool> next = prefix;
+          next.push_back(bit);
+          Classification c = all_swap;
+          for (std::size_t i = 0; i <= level; ++i) {
+            if (next[i]) c.set(li[i], ValueClass::kKeep);
+          }
+          const Eval e = evaluate(c, false, sims);
+          if (!e.feasible) continue;
+          scored.emplace_back(e.time, std::move(next));
+        }
+      }
+      std::sort(scored.begin(), scored.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      beam.clear();
+      for (std::size_t i = 0;
+           i < scored.size() &&
+           i < static_cast<std::size_t>(options_.beam_width);
+           ++i) {
+        beam.push_back(std::move(scored[i].second));
+      }
+      POOCH_CHECK_MSG(!beam.empty(), "beam search lost all candidates");
+    }
+    assignments = std::move(beam);
+  }
+
+  // 3. Evaluate every assignment: fix the L_I bits, then run the greedy
+  // keep-from-the-output scan over L_O \ L_I (Figure 13) and score the
+  // final classification.
+  double best_time = std::numeric_limits<double>::infinity();
+  Classification best = all_swap;
+  bool any_feasible = false;
+  for (const auto& bits : assignments) {
+    Classification c = all_swap;
+    for (std::size_t i = 0; i < li.size(); ++i) {
+      if (bits[i]) c.set(li[i], ValueClass::kKeep);
+    }
+    Eval e = evaluate(c, false, sims);
+    if (!e.feasible) continue;  // keeping more cannot restore feasibility
+    for (ValueId v : lo_only) {
+      c.set(v, ValueClass::kKeep);
+      const Eval trial = evaluate(c, false, sims);
+      if (!trial.feasible) {
+        c.set(v, ValueClass::kSwap);  // does not fit: leave it swapped
+      } else {
+        e = trial;
+      }
+    }
+    any_feasible = true;
+    if (e.time < best_time) {
+      best_time = e.time;
+      best = c;
+      result.predicted_peak = e.peak;
+    }
+  }
+
+  if (!any_feasible) {
+    // Fall back to the feasible swap-all baseline.
+    best = all_swap;
+    best_time = base.iteration_time;
+    result.predicted_peak = base.peak_bytes;
+  }
+
+  // Absorption pass: the search above only considered keeping the
+  // *exposed* maps. Device memory left over is still worth spending on
+  // the hidden swaps — every map kept is a transfer the copy engines
+  // don't make (less bandwidth pressure, less memory-order jitter).
+  // Scan from the output layer, flip swap -> keep while it fits and
+  // does not hurt the predicted time. Leave one largest-map of slack
+  // below the planning capacity: execution times differ from the
+  // profile, and a plan packed to the brim fragments under the shifted
+  // malloc/free order.
+  std::size_t largest_map = 0;
+  for (ValueId v : classifiable_) {
+    largest_map = std::max(largest_map, graph_.value(v).byte_size());
+  }
+  const std::size_t absorb_limit =
+      machine_.usable_gpu_bytes() > largest_map
+          ? machine_.usable_gpu_bytes() - largest_map
+          : 0;
+  auto absorb = [&](Classification& c, double& time, std::size_t& peak) {
+    std::vector<ValueId> remaining;
+    for (ValueId v : classifiable_) {
+      if (c.of(v) == ValueClass::kSwap) remaining.push_back(v);
+    }
+    sort_from_output_layer(remaining, graph_);
+    for (ValueId v : remaining) {
+      c.set(v, ValueClass::kKeep);
+      const Eval e = evaluate(c, false, sims);
+      if (!e.feasible || e.time > time || e.peak > absorb_limit) {
+        c.set(v, ValueClass::kSwap);
+      } else {
+        time = e.time;
+        peak = e.peak;
+      }
+    }
+  };
+  absorb(best, best_time, result.predicted_peak);
+
+  // Second seed: the output-layer keep greedy applied from scratch (the
+  // Figure-13 heuristic over the whole swap set). On deep nets the beam
+  // over L_I can miss it, and it is sometimes the stronger start.
+  Classification greedy = all_swap;
+  double greedy_time = base.iteration_time;
+  std::size_t greedy_peak = base.peak_bytes;
+  absorb(greedy, greedy_time, greedy_peak);
+  if (greedy_time < best_time) {
+    best = std::move(greedy);
+    best_time = greedy_time;
+    result.predicted_peak = greedy_peak;
+  }
+
+  result.classes = std::move(best);
+  result.feasible = true;
+  result.predicted_time = best_time;
+  return result;
+}
+
+void PoochPlanner::run_step2(PlannerResult& result, int* sims) const {
+  // §4.4.3: the candidates are the maps still classified `swap`.
+  std::vector<ValueId> pool;
+  for (ValueId v : classifiable_) {
+    if (result.classes.of(v) == ValueClass::kSwap &&
+        graph_.value(v).producer != graph::kNoNode) {
+      pool.push_back(v);
+    }
+  }
+  Classification current = result.classes;
+  double t_cur = result.predicted_time;
+  std::size_t peak_cur = result.predicted_peak;
+  constexpr double kTiny = 1e-12;
+
+  while (!pool.empty()) {
+    ++result.recompute_rounds;
+    double best_r = std::numeric_limits<double>::infinity();
+    ValueId best_v = -1;
+    double best_time = 0.0;
+    std::size_t best_peak = 0;
+    std::vector<ValueId> keep_as_swap;
+
+    // Stall attribution of the current classification: the fallback
+    // estimate of swap_overhead(X) when keeping X does not fit.
+    sim::RunOptions ro;
+    ro.swapin_policy = options_.policy;
+    const sim::RunResult cur_run = runtime_.run(current, ro);
+    ++*sims;
+
+    for (ValueId v : pool) {
+      // Baseline: the same classification with X kept. When keeping X
+      // does not fit, fall back to the stall time the current run
+      // attributes to X's transfers (see DESIGN.md).
+      current.set(v, ValueClass::kKeep);
+      const Eval ek = evaluate(current, /*unbounded=*/false, sims);
+      current.set(v, ValueClass::kRecompute);
+      const Eval er = evaluate(current, /*unbounded=*/false, sims);
+      current.set(v, ValueClass::kSwap);
+
+      if (!er.feasible) {
+        keep_as_swap.push_back(v);
+        continue;
+      }
+      const double baseline =
+          ek.feasible
+              ? ek.time
+              : t_cur - cur_run.stall_by_value[static_cast<std::size_t>(v)];
+      const double swap_oh = std::max(t_cur - baseline, 0.0);
+      const double rec_oh = std::max(er.time - baseline, 0.0);
+      const double r =
+          swap_oh <= kTiny ? std::numeric_limits<double>::infinity()
+                           : rec_oh / swap_oh;
+      if (r >= 1.0) {
+        keep_as_swap.push_back(v);
+        continue;
+      }
+      if (r < best_r) {
+        best_r = r;
+        best_v = v;
+        best_time = er.time;
+        best_peak = er.peak;
+      }
+    }
+
+    // Retire the maps whose swap is already the better (or equal) choice.
+    for (ValueId v : keep_as_swap) {
+      pool.erase(std::remove(pool.begin(), pool.end(), v), pool.end());
+    }
+    if (best_v < 0) break;
+    current.set(best_v, ValueClass::kRecompute);
+    t_cur = best_time;
+    peak_cur = best_peak;
+    pool.erase(std::remove(pool.begin(), pool.end(), best_v), pool.end());
+  }
+
+  result.classes = std::move(current);
+  result.predicted_time = t_cur;
+  result.predicted_peak = peak_cur;
+}
+
+void PoochPlanner::record_schedule(PlannerResult& result,
+                                   int* sims) const {
+  if (!result.feasible) return;
+  // Derived on the margin-reduced planning device: its issue points are
+  // conservative, so replaying them on the full device is safe.
+  sim::RunOptions ro;
+  ro.swapin_policy = options_.policy;
+  const sim::RunResult r = runtime_.run(result.classes, ro);
+  ++*sims;
+  if (r.ok) result.swapin_issue_steps = r.swapin_issue_step;
+  result.planning_usable_bytes = machine_.usable_gpu_bytes();
+}
+
+PlannerResult PoochPlanner::plan() const {
+  const auto t0 = std::chrono::steady_clock::now();
+  int sims = 0;
+  PlannerResult result = run_step1(&sims);
+  if (result.feasible && options_.enable_recompute) {
+    run_step2(result, &sims);
+  }
+  record_schedule(result, &sims);
+  result.simulations = sims;
+  result.counts = result.classes.counts(classifiable_);
+  result.planning_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  POOCH_LOG_INFO(result.summary(graph_));
+  return result;
+}
+
+PlannerResult PoochPlanner::plan_keep_swap_only() const {
+  const auto t0 = std::chrono::steady_clock::now();
+  int sims = 0;
+  PlannerResult result = run_step1(&sims);
+  record_schedule(result, &sims);
+  result.simulations = sims;
+  result.counts = result.classes.counts(classifiable_);
+  result.planning_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace pooch::planner

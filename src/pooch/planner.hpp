@@ -1,0 +1,113 @@
+// PoocH's classification search (paper §4.4).
+//
+// Step 1 (keep vs swap, §4.4.2): simulate the swap-all timeline; feature
+// maps whose swaps are fully hidden stay `swap`. The exposed ones split
+// into L_O (swap-out not hidden — they cluster at the tail of forward,
+// Figure 13) handled by a greedy keep-from-the-output-layer scan, and L_I
+// (swap-in not hidden) searched exhaustively (Figure 14), every candidate
+// scored by simulating the full timeline. Above a configurable |L_I| cap
+// the exhaustive tree degrades to a beam search over the same space.
+//
+// Step 2 (swap vs recompute, §4.4.3): greedy loop on the overhead ratio
+//   r(X) = recompute_overhead(X) / swap_overhead(X),
+// both overheads measured as simulated-iteration-time deltas against the
+// same classification with X kept (memory constraint lifted for the
+// baseline); each round moves the smallest r(X) < 1 to `recompute` and
+// retires every X with r(X) >= 1 to `swap`.
+//
+// All simulations run through the same Runtime that will execute the
+// winning classification — the strongest form of the paper's premise
+// that the simulation models the execution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/runtime.hpp"
+
+namespace pooch::planner {
+
+struct PlannerOptions {
+  /// Swap-in scheduling assumed by the simulations (and used at
+  /// execution); §4.3's memory-aware eager policy by default.
+  sim::SwapInPolicy policy = sim::SwapInPolicy::kEagerMemoryAware;
+  /// Exhaustive search bound: 2^|L_I| leaves up to this size.
+  int bruteforce_cap = 14;
+  /// Beam width of the fallback search above the cap.
+  int beam_width = 32;
+  /// Run step 2 (recompute classification). Off reproduces "swap-opt".
+  bool enable_recompute = true;
+  /// Fraction of device capacity withheld during planning. Profiled
+  /// times differ from execution times, which perturbs the malloc/free
+  /// order; planning against a slightly smaller device keeps the chosen
+  /// classification feasible under that jitter.
+  double memory_safety_margin = 0.03;
+};
+
+struct PlannerResult {
+  sim::Classification classes;
+  bool feasible = false;
+  double predicted_time = 0.0;
+  std::size_t predicted_peak = 0;
+
+  // Diagnostics.
+  std::vector<graph::ValueId> lo;  // L_O: swap-outs not hidden
+  std::vector<graph::ValueId> li;  // L_I: swap-ins not hidden
+  std::array<int, 3> counts{0, 0, 0};  // keep/swap/recompute (Table 3)
+  /// Swap-in issue schedule recorded from the winning simulation; the
+  /// executor replays it (RunOptions::fixed_swapin_schedule).
+  std::vector<int> swapin_issue_steps;
+  /// Usable device bytes the plan was validated against (the margin-
+  /// reduced capacity); the executor clamps its pool to this.
+  std::size_t planning_usable_bytes = 0;
+  int simulations = 0;
+  int recompute_rounds = 0;
+  bool used_beam_fallback = false;
+  double planning_wall_seconds = 0.0;  // real CPU time of the search
+
+  std::string summary(const graph::Graph& graph) const;
+};
+
+class PoochPlanner {
+ public:
+  /// `time_model` is normally the TableTimeModel built from profiling.
+  PoochPlanner(const graph::Graph& graph,
+               const std::vector<graph::BwdStep>& tape,
+               const cost::MachineConfig& machine,
+               const sim::TimeModel& time_model, PlannerOptions options = {});
+
+  /// Full PoocH classification (step 1 + step 2).
+  PlannerResult plan() const;
+
+  /// Step 1 only — the paper's "swap-opt" ablation.
+  PlannerResult plan_keep_swap_only() const;
+
+ private:
+  struct Eval {
+    bool feasible = false;
+    double time = 0.0;
+    std::size_t peak = 0;
+  };
+  Eval evaluate(const sim::Classification& classes, bool unbounded,
+                int* sim_counter) const;
+
+  PlannerResult run_step1(int* sims) const;
+  void run_step2(PlannerResult& result, int* sims) const;
+  void record_schedule(PlannerResult& result, int* sims) const;
+
+  const graph::Graph& graph_;
+  const std::vector<graph::BwdStep>& tape_;
+  cost::MachineConfig machine_;  // by value: planning capacity is reduced
+                                 // by the safety margin
+  const sim::TimeModel& tm_;
+  PlannerOptions options_;
+  std::vector<graph::ValueId> classifiable_;
+
+  sim::Runtime runtime_;
+  cost::MachineConfig unbounded_machine_;
+  sim::Runtime unbounded_runtime_;
+};
+
+}  // namespace pooch::planner

@@ -1,0 +1,68 @@
+// Real numeric execution attached to the virtual GPU.
+//
+// The runtime drives this backend in program order: forward/backward
+// kernels, host<->device copies, frees, and the SGD update. "Device"
+// tensors live in values_/grads_; a swap-out copies to host_ and drops the
+// device buffer, mirroring what the timing layer schedules.
+//
+// Its purpose is verification: a training iteration executed under any
+// feasible classification must produce bit-identical losses, gradients
+// and updated parameters to the in-core (all-keep) run. The paper asserts
+// swap/recompute transparency; this backend lets tests prove it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pooch::sim {
+
+class DataBackend {
+ public:
+  /// Initialises parameters, synthetic inputs and labels from `seed`.
+  DataBackend(const graph::Graph& graph, std::uint64_t seed,
+              float learning_rate = 0.01f);
+
+  // --- ops invoked by the runtime in program order ---
+  /// Re-installs the input batch (mirrors the per-iteration H2D upload of
+  /// training data); called by the runtime at the start of every run.
+  void begin_iteration();
+  void forward(graph::NodeId node, std::uint64_t iteration);
+  void backward(graph::NodeId node, std::uint64_t iteration);
+  void swap_out(graph::ValueId value);  // device -> host copy
+  void swap_in(graph::ValueId value);   // host -> device copy
+  void free_value(graph::ValueId value);
+  void free_grad(graph::ValueId value);
+  void update();
+
+  // --- inspection (tests, examples) ---
+  float loss() const;
+  const Tensor& value(graph::ValueId v) const;
+  bool value_resident(graph::ValueId v) const;
+  const Tensor& grad(graph::ValueId v) const;
+  const std::vector<Tensor>& params(graph::NodeId node) const;
+  const std::vector<Tensor>& param_grads(graph::NodeId node) const;
+
+  /// Flat L2 norm over all parameters (cheap convergence signal).
+  double param_norm() const;
+
+ private:
+  Tensor& ensure_value(graph::ValueId v);
+  Tensor& ensure_grad(graph::ValueId v);
+  void accumulate_grad(graph::ValueId v, Tensor contribution);
+
+  const graph::Graph& graph_;
+  float lr_;
+  std::vector<Tensor> input_batch_;  // pristine per-iteration inputs
+  std::vector<Tensor> values_;       // device feature maps
+  std::vector<Tensor> host_;         // swapped-out host copies
+  std::vector<Tensor> grads_;        // feature-map gradients
+  std::vector<std::vector<Tensor>> params_;       // per node
+  std::vector<std::vector<Tensor>> param_grads_;  // per node
+  std::vector<std::int64_t> labels_;
+  float last_loss_ = 0.0f;
+};
+
+}  // namespace pooch::sim

@@ -1,0 +1,142 @@
+// The virtual GPU runtime: executes one training iteration of a graph
+// under a classification, on a machine, and reports what happened.
+//
+// It is simultaneously
+//   (a) the *timeline simulator* PoocH's classifier queries thousands of
+//       times (§4.1.2: "PoocH simulates an execution timeline and memory
+//       management processes"), and
+//   (b) the *executor* of the chosen classification — attach a DataBackend
+//       and the same schedule runs real kernels on real tensors.
+// Using one engine for both is the strongest form of the paper's premise
+// that the simulation faithfully models the execution.
+//
+// Modelled structure: one compute stream, one D2H stream, one H2D stream;
+// a best-fit arena for device memory where allocations may have to wait
+// for in-flight swap-outs to release their buffers; swap-in scheduling
+// policies from naive one-step lookahead up to the paper's §4.3
+// memory-aware eager prefetch; recompute chains re-executed on the
+// compute stream. Out-of-memory is a reported outcome, not an exception.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/machine.hpp"
+#include "graph/autodiff.hpp"
+#include "graph/graph.hpp"
+#include "sim/data_backend.hpp"
+#include "sim/plan.hpp"
+#include "sim/time_model.hpp"
+#include "sim/timeline.hpp"
+
+namespace pooch::sim {
+
+enum class SwapInPolicy : std::uint8_t {
+  /// Swap-in issued only when the needing backward step starts.
+  kOnDemand,
+  /// Issued one backward step ahead — the paper's "swap-all (w/o
+  /// scheduling)" baseline ("starts simultaneously with the previous
+  /// computation").
+  kLookahead1,
+  /// Issued at the backward step of the nearest preceding convolution —
+  /// the SuperNeurons trigger rule.
+  kLookaheadPrevConv,
+  /// §4.3: issued as early as free device memory (minus the upcoming
+  /// transient-byte headroom) allows.
+  kEagerMemoryAware,
+};
+
+struct RunOptions {
+  SwapInPolicy swapin_policy = SwapInPolicy::kEagerMemoryAware;
+  /// SuperNeurons semantics: a trigger-time swap-in that cannot get
+  /// memory is a hard failure instead of being deferred.
+  bool oom_on_prefetch_failure = false;
+  /// Record per-op spans (disable inside hot classifier loops).
+  bool record_timeline = false;
+  /// Mixed into dropout masks; bump per training iteration.
+  std::uint64_t iteration = 0;
+  /// Scales the free-memory headroom the eager prefetcher preserves.
+  double headroom_factor = 1.0;
+  /// Disable the two-ended (lifetime-aware) placement and allocate
+  /// everything bottom-up, as cudaMalloc-pool-era systems did; used by
+  /// the SuperNeurons baseline.
+  bool naive_placement = false;
+  /// Replay a fixed swap-in schedule (per-value issue step, -1 = none)
+  /// recorded from a planning simulation, instead of deciding issue
+  /// times from live state. This is §4.3 as the paper describes it —
+  /// "the amount of free memory ... can be judged from the profiling
+  /// result" — and it makes the execution's allocation order match the
+  /// simulation's exactly.
+  const std::vector<int>* fixed_swapin_schedule = nullptr;
+  /// Restrict the device pool to this many usable bytes (0 = use the
+  /// machine's full capacity). The PoocH executor clamps to the capacity
+  /// the plan was validated against, so the execution reproduces the
+  /// planning simulation's memory behaviour exactly.
+  std::size_t usable_bytes_override = 0;
+  /// Optional real execution.
+  DataBackend* data = nullptr;
+};
+
+struct RunResult {
+  bool ok = false;
+  bool oom = false;
+  std::string failure;
+
+  double iteration_time = 0.0;
+  double forward_time = 0.0;
+
+  std::size_t arena_capacity = 0;       // after the persistent reservation
+  std::size_t persistent_bytes = 0;     // params + param grads
+  std::size_t peak_arena_bytes = 0;     // dynamic peak inside the arena
+  std::size_t peak_bytes = 0;           // persistent + dynamic peak
+  std::size_t peak_host_bytes = 0;
+
+  double compute_stall = 0.0;
+  double swapin_stall = 0.0;   // stalls blamed on H2D completions
+  double memory_stall = 0.0;   // stalls blamed on D2H-gated allocations
+  double recompute_seconds = 0.0;
+  std::size_t swapped_bytes = 0;
+  std::size_t recomputed_bytes = 0;
+
+  /// Values whose swap-out was not hidden (caused a memory stall or was
+  /// still in flight when forward finished) — the L_O candidates.
+  std::vector<graph::ValueId> unhidden_swapouts;
+  /// Values whose swap-in delayed a compute op — the L_I candidates.
+  std::vector<graph::ValueId> unhidden_swapins;
+  /// Per-value compute-stall seconds blamed on that value's transfers.
+  std::vector<double> stall_by_value;
+  /// Backward step index before which each value's swap-in was issued
+  /// (-1 = never swapped in). Feed back as fixed_swapin_schedule.
+  std::vector<int> swapin_issue_step;
+
+  Timeline timeline;
+
+  /// images/sec given a batch size.
+  double throughput(std::int64_t batch) const {
+    return iteration_time > 0.0 ? static_cast<double>(batch) / iteration_time
+                                : 0.0;
+  }
+};
+
+class Runtime {
+ public:
+  Runtime(const graph::Graph& graph, const std::vector<graph::BwdStep>& tape,
+          const cost::MachineConfig& machine, const TimeModel& time_model);
+
+  /// Simulate (and optionally execute) one training iteration.
+  RunResult run(const Classification& classes,
+                const RunOptions& options = {}) const;
+
+  const graph::Graph& graph() const { return graph_; }
+  const std::vector<graph::BwdStep>& tape() const { return tape_; }
+  const cost::MachineConfig& machine() const { return machine_; }
+
+ private:
+  const graph::Graph& graph_;
+  const std::vector<graph::BwdStep>& tape_;
+  const cost::MachineConfig& machine_;
+  const TimeModel& time_model_;
+};
+
+}  // namespace pooch::sim

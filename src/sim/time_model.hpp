@@ -1,0 +1,86 @@
+// Time sources for the virtual GPU.
+//
+// The runtime asks a TimeModel how long each kernel and each transfer
+// takes; everything else (overlap, stalls, memory waits) emerges from the
+// discrete-event schedule. Three implementations:
+//   CostTimeModel   — the analytic roofline model ("ground truth" hardware)
+//   NoisyTimeModel  — wraps another model with multiplicative measurement
+//                     noise; this is what the profiling iterations observe
+//   TableTimeModel  — fixed per-op tables; built from averaged profiles
+//                     (see profile/) and used by the PoocH classifier
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "cost/cost_model.hpp"
+#include "cost/machine.hpp"
+#include "graph/graph.hpp"
+
+namespace pooch::sim {
+
+class TimeModel {
+ public:
+  virtual ~TimeModel() = default;
+  virtual double forward_time(graph::NodeId node) const = 0;
+  virtual double backward_time(graph::NodeId node) const = 0;
+  virtual double d2h_time(graph::ValueId value) const = 0;
+  virtual double h2d_time(graph::ValueId value) const = 0;
+  virtual double update_time() const = 0;
+};
+
+/// Deterministic times from the roofline cost model.
+class CostTimeModel : public TimeModel {
+ public:
+  CostTimeModel(const graph::Graph& graph, const cost::MachineConfig& machine);
+
+  double forward_time(graph::NodeId node) const override;
+  double backward_time(graph::NodeId node) const override;
+  double d2h_time(graph::ValueId value) const override;
+  double h2d_time(graph::ValueId value) const override;
+  double update_time() const override;
+
+ private:
+  std::vector<double> fwd_, bwd_, xfer_;
+  double update_ = 0.0;
+};
+
+/// Multiplicative log-normal-ish noise on top of a base model; each query
+/// draws fresh noise, so repeated profiling iterations see jitter.
+class NoisyTimeModel : public TimeModel {
+ public:
+  NoisyTimeModel(const TimeModel& base, double sigma, std::uint64_t seed);
+
+  double forward_time(graph::NodeId node) const override;
+  double backward_time(graph::NodeId node) const override;
+  double d2h_time(graph::ValueId value) const override;
+  double h2d_time(graph::ValueId value) const override;
+  double update_time() const override;
+
+ private:
+  double jitter() const;
+  const TimeModel& base_;
+  double sigma_;
+  mutable Rng rng_;
+};
+
+/// Fixed per-op tables (averaged profiling measurements).
+class TableTimeModel : public TimeModel {
+ public:
+  TableTimeModel(std::vector<double> fwd, std::vector<double> bwd,
+                 std::vector<double> d2h, std::vector<double> h2d,
+                 double update);
+
+  double forward_time(graph::NodeId node) const override;
+  double backward_time(graph::NodeId node) const override;
+  double d2h_time(graph::ValueId value) const override;
+  double h2d_time(graph::ValueId value) const override;
+  double update_time() const override;
+
+ private:
+  std::vector<double> fwd_, bwd_, d2h_, h2d_;
+  double update_;
+};
+
+}  // namespace pooch::sim

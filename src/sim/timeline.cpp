@@ -1,0 +1,85 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace pooch::sim {
+
+void Timeline::clear() {
+  ops.clear();
+  compute_busy = d2h_busy = h2d_busy = compute_stall = forward_end = 0.0;
+}
+
+namespace {
+
+char op_glyph(const OpRecord& op) {
+  switch (op.kind) {
+    case OpKind::kForward: return 'F';
+    case OpKind::kBackward: return 'B';
+    case OpKind::kRecompute: return 'R';
+    case OpKind::kSwapOut: return 'o';
+    case OpKind::kSwapIn: return 'i';
+    case OpKind::kUpdate: return 'U';
+  }
+  return '?';
+}
+
+int lane_of(const OpRecord& op) {
+  switch (op.kind) {
+    case OpKind::kForward:
+    case OpKind::kBackward:
+    case OpKind::kRecompute:
+    case OpKind::kUpdate:
+      return 0;
+    case OpKind::kSwapOut:
+      return 1;
+    case OpKind::kSwapIn:
+      return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string Timeline::render(const graph::Graph& graph, int width) const {
+  (void)graph;
+  double t_end = 0.0;
+  for (const auto& op : ops) t_end = std::max(t_end, op.end);
+  if (t_end <= 0.0 || ops.empty()) return "(empty timeline)\n";
+
+  const char* lane_names[3] = {"compute", "d2h    ", "h2d    "};
+  std::string rows[3];
+  for (auto& r : rows) r.assign(static_cast<std::size_t>(width), '.');
+
+  for (const auto& op : ops) {
+    const int lane = lane_of(op);
+    int a = static_cast<int>(std::floor(op.start / t_end * width));
+    int b = static_cast<int>(std::ceil(op.end / t_end * width));
+    a = std::clamp(a, 0, width - 1);
+    b = std::clamp(b, a + 1, width);
+    for (int i = a; i < b; ++i) {
+      rows[lane][static_cast<std::size_t>(i)] = op_glyph(op);
+    }
+    // Mark the stall interval that preceded this compute op.
+    if (lane == 0 && op.stall > 0.0) {
+      int sa = static_cast<int>(
+          std::floor((op.start - op.stall) / t_end * width));
+      sa = std::clamp(sa, 0, a);
+      for (int i = sa; i < a; ++i) {
+        rows[0][static_cast<std::size_t>(i)] = '#';
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << "timeline span " << format_time(t_end) << "  (# = compute stall)\n";
+  for (int lane = 0; lane < 3; ++lane) {
+    os << lane_names[lane] << " |" << rows[lane] << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace pooch::sim

@@ -1,0 +1,57 @@
+// Execution timeline: one record per scheduled operation, with stall
+// attribution. This is both the classifier's raw material (the unhidden
+// swap sets L_O / L_I of §4.4.2 fall out of the stall causes) and the
+// source of the paper-style Gantt renderings (Figures 7/10/11).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pooch::sim {
+
+enum class OpKind : std::uint8_t {
+  kForward,
+  kBackward,
+  kRecompute,  // forward re-run during the backward phase
+  kSwapOut,    // D2H
+  kSwapIn,     // H2D
+  kUpdate,
+};
+
+enum class StallCause : std::uint8_t {
+  kNone,
+  kSwapInWait,   // compute waited for an H2D completion -> L_I evidence
+  kMemoryWait,   // allocation waited for a D2H completion -> L_O evidence
+  kDependency,   // waited for another compute op (recompute chains)
+};
+
+struct OpRecord {
+  OpKind kind{};
+  graph::NodeId node = graph::kNoNode;  // compute ops
+  graph::ValueId value = -1;            // transfers / recompute output
+  double start = 0.0;
+  double end = 0.0;
+  double stall = 0.0;  // idle time this op inflicted on its stream
+  StallCause stall_cause = StallCause::kNone;
+  graph::ValueId stall_value = -1;  // the value blamed for the stall
+};
+
+struct Timeline {
+  std::vector<OpRecord> ops;
+
+  double compute_busy = 0.0;
+  double d2h_busy = 0.0;
+  double h2d_busy = 0.0;
+  double compute_stall = 0.0;
+  double forward_end = 0.0;  // compute-stream time when forward finished
+
+  void clear();
+
+  /// ASCII Gantt chart (compute / D2H / H2D lanes), `width` columns.
+  std::string render(const graph::Graph& graph, int width = 100) const;
+};
+
+}  // namespace pooch::sim

@@ -1,0 +1,37 @@
+// Element types.
+//
+// All real math in the reproduction runs in float32 (the paper trains in
+// fp32 on V100 without tensor cores enabled in Chainer v3). The dtype enum
+// exists so size accounting stays honest and so an fp16 extension slots in
+// without touching call sites.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace pooch {
+
+enum class DType { kF32, kF16, kI32, kI8 };
+
+constexpr std::size_t dtype_size(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return 4;
+    case DType::kF16: return 2;
+    case DType::kI32: return 4;
+    case DType::kI8: return 1;
+  }
+  return 0;
+}
+
+constexpr const char* dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return "f32";
+    case DType::kF16: return "f16";
+    case DType::kI32: return "i32";
+    case DType::kI8: return "i8";
+  }
+  return "?";
+}
+
+}  // namespace pooch

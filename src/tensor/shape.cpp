@@ -1,0 +1,60 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pooch {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+  for (std::int64_t d : dims_) POOCH_CHECK_MSG(d >= 0, "negative extent " << d);
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for (std::int64_t d : dims_) POOCH_CHECK_MSG(d >= 0, "negative extent " << d);
+}
+
+std::int64_t Shape::dim(int axis) const {
+  const int r = rank();
+  if (axis < 0) axis += r;
+  POOCH_CHECK_MSG(axis >= 0 && axis < r,
+                  "axis " << axis << " out of range for rank " << r);
+  return dims_[static_cast<std::size_t>(axis)];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (std::int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << dims_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+Shape Shape::with_dim(int axis, std::int64_t extent) const {
+  const int r = rank();
+  if (axis < 0) axis += r;
+  POOCH_CHECK(axis >= 0 && axis < r);
+  POOCH_CHECK(extent >= 0);
+  std::vector<std::int64_t> dims = dims_;
+  dims[static_cast<std::size_t>(axis)] = extent;
+  return Shape(std::move(dims));
+}
+
+Shape Shape::flatten2d() const {
+  POOCH_CHECK_MSG(rank() >= 1, "cannot flatten rank-0 shape");
+  const std::int64_t n0 = dims_[0];
+  std::int64_t rest = 1;
+  for (std::size_t i = 1; i < dims_.size(); ++i) rest *= dims_[i];
+  return Shape{n0, rest};
+}
+
+}  // namespace pooch

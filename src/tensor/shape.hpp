@@ -1,0 +1,52 @@
+// Tensor shapes.
+//
+// A Shape is an ordered list of extents. Layout conventions used by the
+// model zoo:
+//   2-D nets:  activations N,C,H,W     conv weights O,I,Kh,Kw
+//   3-D nets:  activations N,C,D,H,W   conv weights O,I,Kd,Kh,Kw
+//   FC:        activations N,F         weights Out,In
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace pooch {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  /// Number of dimensions.
+  int rank() const { return static_cast<int>(dims_.size()); }
+
+  /// Extent of dimension `axis`; negative axes count from the back.
+  std::int64_t dim(int axis) const;
+
+  std::int64_t operator[](int axis) const { return dim(axis); }
+
+  /// Total element count (1 for a rank-0 shape).
+  std::int64_t numel() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// "(64, 3, 224, 224)"
+  std::string to_string() const;
+
+  /// Shape with `axis` replaced by `extent`.
+  Shape with_dim(int axis, std::int64_t extent) const;
+
+  /// Flattened to rank 2: (dim0, numel/dim0). Requires rank >= 1.
+  Shape flatten2d() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace pooch

@@ -1,0 +1,48 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pooch {
+
+Tensor::Tensor(Shape shape, DType dtype)
+    : shape_(std::move(shape)), dtype_(dtype) {
+  POOCH_CHECK_MSG(dtype_ == DType::kF32,
+                  "only f32 tensors carry data in this build");
+  data_.assign(static_cast<std::size_t>(shape_.numel()), 0.0f);
+}
+
+float Tensor::at(std::int64_t i) const {
+  POOCH_CHECK_MSG(i >= 0 && i < numel(),
+                  "index " << i << " out of range " << numel());
+  return data_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Tensor::index4(std::int64_t a, std::int64_t b, std::int64_t c,
+                            std::int64_t d) const {
+  POOCH_CHECK(shape_.rank() == 4);
+  return ((a * shape_[1] + b) * shape_[2] + c) * shape_[3] + d;
+}
+
+std::int64_t Tensor::index5(std::int64_t a, std::int64_t b, std::int64_t c,
+                            std::int64_t d, std::int64_t e) const {
+  POOCH_CHECK(shape_.rank() == 5);
+  return (((a * shape_[1] + b) * shape_[2] + c) * shape_[3] + d) * shape_[4] +
+         e;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::release() {
+  data_.clear();
+  data_.shrink_to_fit();
+}
+
+void Tensor::materialize() {
+  data_.assign(static_cast<std::size_t>(shape_.numel()), 0.0f);
+}
+
+}  // namespace pooch

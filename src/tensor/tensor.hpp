@@ -1,0 +1,70 @@
+// A dense row-major CPU tensor owning its storage.
+//
+// This is the numeric substrate standing in for Chainer's GPU arrays: the
+// data-attached execution mode of the runtime moves these buffers between
+// the simulated device arena and host memory and runs real kernels on them,
+// so swap/recompute correctness is checked against actual numbers.
+//
+// Storage is always float32; `dtype` is carried for size accounting (the
+// timing-only simulation never allocates a Tensor at all).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/dtype.hpp"
+#include "tensor/shape.hpp"
+
+namespace pooch {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, DType dtype = DType::kF32);
+
+  const Shape& shape() const { return shape_; }
+  DType dtype() const { return dtype_; }
+  std::int64_t numel() const { return shape_.numel(); }
+  std::size_t byte_size() const {
+    return static_cast<std::size_t>(numel()) * dtype_size(dtype_);
+  }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::int64_t i) {
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// Bounds-checked element access (linear index); for tests.
+  float at(std::int64_t i) const;
+
+  /// Multi-dimensional index helpers for the common ranks.
+  std::int64_t index4(std::int64_t a, std::int64_t b, std::int64_t c,
+                      std::int64_t d) const;
+  std::int64_t index5(std::int64_t a, std::int64_t b, std::int64_t c,
+                      std::int64_t d, std::int64_t e) const;
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// Release storage but remember the shape (models a discarded feature
+  /// map whose metadata survives).
+  void release();
+
+  /// Re-allocate storage after release(); contents are zero.
+  void materialize();
+
+  bool materialized() const { return !data_.empty() || numel() == 0; }
+
+ private:
+  Shape shape_;
+  DType dtype_ = DType::kF32;
+  std::vector<float> data_;
+};
+
+}  // namespace pooch

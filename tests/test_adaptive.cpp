@@ -1,0 +1,128 @@
+// Tests for the variable-problem-size extension (the paper's §7 future
+// work): bucketed planning, lazy plan caching, padding accounting.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "models/models.hpp"
+#include "pooch/adaptive.hpp"
+
+namespace pooch::planner {
+namespace {
+
+AdaptivePlanner make_planner(std::vector<std::int64_t> buckets,
+                             std::size_t cap_mib = 96,
+                             bool eager = false) {
+  AdaptiveOptions options;
+  options.bucket_sizes = std::move(buckets);
+  options.plan_eagerly = eager;
+  auto machine = cost::test_machine(cap_mib);
+  machine.link_gbps = 3.0;
+  return AdaptivePlanner(
+      [](std::int64_t size) { return models::paper_example(size, 56, 64); },
+      machine, options);
+}
+
+TEST(Adaptive, BucketSelection) {
+  auto planner = make_planner({4, 8, 16});
+  EXPECT_EQ(planner.bucket_for(1), 4);
+  EXPECT_EQ(planner.bucket_for(4), 4);
+  EXPECT_EQ(planner.bucket_for(5), 8);
+  EXPECT_EQ(planner.bucket_for(16), 16);
+  EXPECT_EQ(planner.bucket_for(17), -1);
+}
+
+TEST(Adaptive, RejectsEmptyAndDuplicateBuckets) {
+  EXPECT_THROW(make_planner({}), Error);
+  EXPECT_THROW(make_planner({8, 8}), Error);
+}
+
+TEST(Adaptive, LazyPlanningPaysOncePerBucket) {
+  auto planner = make_planner({8, 16});
+  EXPECT_EQ(planner.stats().buckets_planned, 0);
+  const auto first = planner.run_iteration(6);
+  ASSERT_TRUE(first.ok) << first.failure;
+  EXPECT_TRUE(first.planned_now);
+  EXPECT_EQ(first.bucket_size, 8);
+  EXPECT_EQ(planner.stats().buckets_planned, 1);
+
+  const auto second = planner.run_iteration(7);
+  ASSERT_TRUE(second.ok);
+  EXPECT_FALSE(second.planned_now);  // cached plan reused
+  EXPECT_EQ(planner.stats().buckets_planned, 1);
+
+  const auto third = planner.run_iteration(12);
+  ASSERT_TRUE(third.ok);
+  EXPECT_TRUE(third.planned_now);  // new bucket
+  EXPECT_EQ(planner.stats().buckets_planned, 2);
+}
+
+TEST(Adaptive, EagerPreparePlansEverything) {
+  auto planner = make_planner({8, 16}, 96, /*eager=*/true);
+  EXPECT_EQ(planner.stats().buckets_planned, 2);
+  const auto r = planner.run_iteration(10);
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.planned_now);
+  EXPECT_NO_THROW(planner.plan_for_bucket(8));
+  EXPECT_NO_THROW(planner.plan_for_bucket(16));
+  EXPECT_THROW(planner.plan_for_bucket(12), Error);
+}
+
+TEST(Adaptive, PaddingAccounting) {
+  auto planner = make_planner({8, 16});
+  ASSERT_TRUE(planner.run_iteration(5).ok);   // padded to 8
+  ASSERT_TRUE(planner.run_iteration(8).ok);   // exact
+  ASSERT_TRUE(planner.run_iteration(12).ok);  // padded to 16
+  const auto& s = planner.stats();
+  EXPECT_EQ(s.iterations_run, 3);
+  EXPECT_EQ(s.requested_items, 25);
+  EXPECT_EQ(s.padded_items, 32);
+  EXPECT_NEAR(s.padding_overhead(), 1.0 - 25.0 / 32.0, 1e-12);
+}
+
+TEST(Adaptive, EffectiveThroughputChargesPadding) {
+  auto planner = make_planner({16});
+  const auto exact = planner.run_iteration(16);
+  const auto padded = planner.run_iteration(4);
+  ASSERT_TRUE(exact.ok && padded.ok);
+  // Same padded iteration underneath, so the effective throughput of the
+  // size-4 request is a quarter of the full bucket's.
+  EXPECT_NEAR(padded.effective_throughput, exact.effective_throughput / 4.0,
+              1e-6 * exact.effective_throughput);
+}
+
+TEST(Adaptive, OversizedRequestFailsCleanly) {
+  auto planner = make_planner({8});
+  const auto r = planner.run_iteration(64);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("largest bucket"), std::string::npos);
+}
+
+TEST(Adaptive, InfeasibleBucketReportedNotThrown) {
+  // A device too small for even the smallest bucket.
+  AdaptiveOptions options;
+  options.bucket_sizes = {16};
+  auto machine = cost::test_machine(4);
+  AdaptivePlanner planner(
+      [](std::int64_t size) { return models::paper_example(size, 56, 64); },
+      machine, options);
+  const auto r = planner.run_iteration(16);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("infeasible"), std::string::npos);
+}
+
+TEST(Adaptive, MixedSizeStreamRunsEndToEnd) {
+  auto planner = make_planner({4, 8, 16});
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    const std::int64_t size = 1 + static_cast<std::int64_t>(rng.below(16));
+    const auto r =
+        planner.run_iteration(size, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(r.ok) << "size " << size << ": " << r.failure;
+    EXPECT_GE(r.bucket_size, size);
+  }
+  EXPECT_LE(planner.stats().buckets_planned, 3);
+  EXPECT_EQ(planner.stats().iterations_run, 30);
+}
+
+}  // namespace
+}  // namespace pooch::planner

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mem/arena.hpp"
+#include "mem/host_pool.hpp"
+
+namespace pooch::mem {
+namespace {
+
+TEST(Arena, AllocFreeBasics) {
+  Arena a(1024, 256);
+  EXPECT_EQ(a.capacity(), 1024u);
+  auto b1 = a.allocate(100);
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_EQ(a.block_size(*b1), 256u);  // rounded to alignment
+  EXPECT_EQ(a.in_use(), 256u);
+  a.free(*b1);
+  EXPECT_EQ(a.in_use(), 0u);
+  EXPECT_EQ(a.free_bytes(), 1024u);
+}
+
+TEST(Arena, ExhaustionReturnsNullopt) {
+  Arena a(1024, 256);
+  EXPECT_TRUE(a.allocate(512).has_value());
+  EXPECT_TRUE(a.allocate(512).has_value());
+  EXPECT_FALSE(a.allocate(1).has_value());
+  EXPECT_EQ(a.stats().failed_allocs, 1u);
+}
+
+TEST(Arena, CoalescingRestoresLargeBlock) {
+  Arena a(1024, 256);
+  auto b1 = a.allocate(256);
+  auto b2 = a.allocate(256);
+  auto b3 = a.allocate(256);
+  auto b4 = a.allocate(256);
+  ASSERT_TRUE(b4.has_value());
+  // Free out of order; neighbours must merge back into one block.
+  a.free(*b2);
+  a.free(*b4);
+  a.free(*b3);
+  a.free(*b1);
+  EXPECT_EQ(a.largest_free_block(), 1024u);
+  EXPECT_TRUE(a.allocate(1024).has_value());
+}
+
+TEST(Arena, FragmentationBlocksLargeAlloc) {
+  Arena a(1024, 256);
+  auto b1 = a.allocate(256);
+  auto b2 = a.allocate(256);
+  auto b3 = a.allocate(256);
+  auto b4 = a.allocate(256);
+  (void)b1;
+  (void)b3;
+  a.free(*b2);
+  a.free(*b4);
+  // 512 bytes free but in two 256-byte islands.
+  EXPECT_EQ(a.free_bytes(), 512u);
+  EXPECT_FALSE(a.allocate(512).has_value());
+  EXPECT_GT(a.stats().fragmentation(), 0.4);
+}
+
+TEST(Arena, BestFitPrefersSnugBlock) {
+  Arena a(10 * 256, 256);
+  auto b1 = a.allocate(256);  // [0]
+  auto b2 = a.allocate(256);  // [256]
+  auto b3 = a.allocate(256);  // [512]
+  auto b4 = a.allocate(256);  // [768]
+  auto b5 = a.allocate(256);  // [1024] — separates the holes from the tail
+  (void)b1;
+  (void)b3;
+  (void)b5;
+  // Punch two 256-byte holes; the tail [1280, 2560) stays free (1280 B).
+  a.free(*b2);
+  a.free(*b4);
+  // A 256-byte request must take a snug hole, not carve the big tail.
+  auto snug = a.allocate(256);
+  ASSERT_TRUE(snug.has_value());
+  EXPECT_TRUE(*snug == 256u || *snug == 768u);
+  // A 512-byte request only fits in the tail.
+  auto big = a.allocate(512);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(*big, 1280u);
+}
+
+TEST(Arena, PeakTracking) {
+  Arena a(4096, 256);
+  auto b1 = a.allocate(1024);
+  auto b2 = a.allocate(2048);
+  a.free(*b1);
+  a.free(*b2);
+  EXPECT_EQ(a.stats().peak_in_use, 3072u);
+}
+
+TEST(Arena, DoubleFreeThrows) {
+  Arena a(1024, 256);
+  auto b = a.allocate(256);
+  a.free(*b);
+  EXPECT_THROW(a.free(*b), Error);
+  EXPECT_THROW(a.free(999), Error);
+}
+
+TEST(Arena, ResetRestoresCapacity) {
+  Arena a(1024, 256);
+  (void)a.allocate(512);
+  a.reset();
+  EXPECT_EQ(a.in_use(), 0u);
+  EXPECT_TRUE(a.allocate(1024).has_value());
+}
+
+TEST(Arena, ZeroByteAllocTakesMinimumBlock) {
+  Arena a(1024, 256);
+  auto b = a.allocate(0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a.block_size(*b), 256u);
+}
+
+// Property test: random alloc/free traffic never corrupts the accounting
+// invariants (in_use + free == capacity; total ledger consistent).
+class ArenaFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArenaFuzz, AccountingInvariantsHold) {
+  const std::size_t cap = 64 * 1024;
+  Arena a(cap, 64);
+  Rng rng(GetParam());
+  std::vector<Offset> live;
+  for (int step = 0; step < 4000; ++step) {
+    const bool do_alloc = live.empty() || rng.uniform() < 0.55;
+    if (do_alloc) {
+      const std::size_t want = 1 + rng.below(4096);
+      if (auto off = a.allocate(want)) {
+        live.push_back(*off);
+      }
+    } else {
+      const std::size_t idx = rng.below(live.size());
+      a.free(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    ASSERT_EQ(a.in_use() + a.free_bytes(), cap);
+    ASSERT_LE(a.largest_free_block(), a.free_bytes());
+  }
+  for (Offset off : live) a.free(off);
+  EXPECT_EQ(a.in_use(), 0u);
+  EXPECT_EQ(a.largest_free_block(), cap);  // full coalescing at the end
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArenaFuzz,
+                         ::testing::Values(1u, 2u, 3u, 7u, 1234u, 99999u));
+
+TEST(HostPool, ReserveAndRelease) {
+  HostPool p(1000);
+  EXPECT_TRUE(p.reserve(600));
+  EXPECT_FALSE(p.reserve(500));
+  EXPECT_TRUE(p.reserve(400));
+  EXPECT_EQ(p.in_use(), 1000u);
+  EXPECT_EQ(p.peak_in_use(), 1000u);
+  p.release(600);
+  EXPECT_EQ(p.in_use(), 400u);
+  EXPECT_THROW(p.release(401), Error);
+  p.reset();
+  EXPECT_EQ(p.in_use(), 0u);
+  EXPECT_EQ(p.peak_in_use(), 1000u);
+}
+
+}  // namespace
+}  // namespace pooch::mem

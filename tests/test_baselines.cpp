@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "baselines/policies.hpp"
+#include "baselines/superneurons.hpp"
+#include "graph/autodiff.hpp"
+#include "models/models.hpp"
+#include "sim/runtime.hpp"
+
+namespace pooch::baselines {
+namespace {
+
+using graph::Graph;
+using sim::Classification;
+using sim::ValueClass;
+
+TEST(Superneurons, SameClassificationOnBothInterconnects) {
+  // Table 3: the static policy cannot see the interconnect.
+  const auto g = models::resnet50(2, 64);
+  const auto tape = graph::build_backward_tape(g);
+  auto pcie = cost::test_machine(512);
+  pcie.link_gbps = 1.0;
+  auto nvlink = cost::test_machine(512);
+  nvlink.link_gbps = 50.0;
+  const auto a = superneurons_classify(g, tape, pcie);
+  const auto b = superneurons_classify(g, tape, nvlink);
+  EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST(Superneurons, TypeRuleForNonKeptMaps) {
+  const auto g = models::paper_example(16, 56, 64);
+  const auto tape = graph::build_backward_tape(g);
+  auto m = cost::test_machine(48);  // tight: most maps cannot be kept
+  const auto plan = superneurons_classify(g, tape, m);
+  int conv_swapped = 0, light_recomputed = 0;
+  for (const auto& v : g.values()) {
+    if (plan.classes.of(v.id) == ValueClass::kKeep) continue;
+    if (v.producer == graph::kNoNode) {
+      EXPECT_EQ(plan.classes.of(v.id), ValueClass::kSwap);
+      continue;
+    }
+    const auto kind = g.node(v.producer).kind;
+    if (kind == graph::LayerKind::kConv) {
+      EXPECT_EQ(plan.classes.of(v.id), ValueClass::kSwap);
+      ++conv_swapped;
+    } else {
+      EXPECT_EQ(plan.classes.of(v.id), ValueClass::kRecompute);
+      ++light_recomputed;
+    }
+  }
+  EXPECT_GT(conv_swapped, 0);
+  EXPECT_GT(light_recomputed, 0);
+}
+
+TEST(Superneurons, KeepsFromOutputLayerFirst) {
+  const auto g = models::paper_example(16, 56, 64);
+  const auto tape = graph::build_backward_tape(g);
+  auto m = cost::test_machine(96);
+  const auto plan = superneurons_classify(g, tape, m);
+  // Find the deepest non-kept classifiable value; everything produced
+  // after it must be kept (budget was spent from the output inward).
+  const auto values = sim::classifiable_values(g, tape);
+  graph::NodeId deepest_nonkept = -1;
+  for (auto v : values) {
+    if (plan.classes.of(v) != ValueClass::kKeep) {
+      deepest_nonkept =
+          std::max(deepest_nonkept, g.value(v).producer);
+    }
+  }
+  ASSERT_GE(deepest_nonkept, 0);
+  for (auto v : values) {
+    if (g.value(v).producer > deepest_nonkept) {
+      EXPECT_EQ(plan.classes.of(v), ValueClass::kKeep);
+    }
+  }
+}
+
+TEST(Superneurons, RunsWithItsOwnOptions) {
+  const auto g = models::paper_example(16, 56, 64);
+  const auto tape = graph::build_backward_tape(g);
+  auto m = cost::test_machine(96);
+  m.link_gbps = 4.0;
+  const sim::CostTimeModel tm(g, m);
+  const sim::Runtime rt(g, tape, m, tm);
+  const auto plan = superneurons_classify(g, tape, m);
+  const auto r = rt.run(plan.classes, superneurons_run_options());
+  EXPECT_TRUE(r.ok) << r.failure;
+}
+
+TEST(Vdnn, SwapsConvInputsOnly) {
+  const auto g = models::small_cnn(4, 32);
+  const auto tape = graph::build_backward_tape(g);
+  const auto c = vdnn_conv_classify(g, tape);
+  for (const auto& n : g.nodes()) {
+    if (n.kind != graph::LayerKind::kConv) continue;
+    for (auto in : n.inputs) {
+      EXPECT_EQ(c.of(in), ValueClass::kSwap);
+    }
+  }
+  // Outputs of the last stage (consumed by pool, not conv) stay keep.
+  int keeps = 0;
+  for (const auto& v : g.values()) keeps += c.of(v.id) == ValueClass::kKeep;
+  EXPECT_GT(keeps, 0);
+}
+
+TEST(Sublinear, CheckpointSpacingAndFeasibility) {
+  const auto g = models::paper_example(16, 56, 64);
+  const auto tape = graph::build_backward_tape(g);
+  const auto c = sublinear_classify(g, tape);
+  const auto values = sim::classifiable_values(g, tape);
+  int keeps = 0, recomputes = 0;
+  for (auto v : values) {
+    if (c.of(v) == ValueClass::kKeep) ++keeps;
+    if (c.of(v) == ValueClass::kRecompute) ++recomputes;
+  }
+  EXPECT_GT(keeps, 0);
+  EXPECT_GT(recomputes, keeps);  // sublinear keeps ~sqrt(n)
+
+  // Runs without swapping on a device that cannot hold keep-all.
+  auto m = cost::test_machine(72);
+  const sim::CostTimeModel tm(g, m);
+  const sim::Runtime rt(g, tape, m, tm);
+  EXPECT_FALSE(rt.run(Classification(g, ValueClass::kKeep)).ok);
+  const auto r = rt.run(c);
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(r.swapped_bytes, 0u);
+  EXPECT_GT(r.recomputed_bytes, 0u);
+}
+
+TEST(Sublinear, ExplicitSegmentLength) {
+  const auto g = models::mlp(4, 16, {16, 16, 16, 16}, 4);
+  const auto tape = graph::build_backward_tape(g);
+  const auto c = sublinear_classify(g, tape, /*segment_length=*/3);
+  const auto values = sim::classifiable_values(g, tape);
+  int keeps = 0;
+  for (auto v : values) {
+    if (g.value(v).producer == graph::kNoNode) continue;
+    keeps += c.of(v) == ValueClass::kKeep;
+  }
+  EXPECT_NEAR(keeps, static_cast<int>(values.size()) / 3, 2);
+}
+
+TEST(SwapAllOptions, PolicyWiring) {
+  EXPECT_EQ(swap_all_naive_options().swapin_policy,
+            sim::SwapInPolicy::kLookahead1);
+  EXPECT_EQ(swap_all_scheduled_options().swapin_policy,
+            sim::SwapInPolicy::kEagerMemoryAware);
+  EXPECT_TRUE(superneurons_run_options().oom_on_prefetch_failure);
+}
+
+}  // namespace
+}  // namespace pooch::baselines

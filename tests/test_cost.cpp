@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hpp"
+#include "cost/machine.hpp"
+#include "models/models.hpp"
+
+namespace pooch::cost {
+namespace {
+
+TEST(Machine, Presets) {
+  const auto x86 = x86_pcie();
+  const auto p9 = power9_nvlink();
+  EXPECT_EQ(x86.gpu_capacity_bytes, 16 * kGiB);
+  EXPECT_EQ(p9.gpu_capacity_bytes, 16 * kGiB);
+  // The paper's headline difference: NVLink is >4x faster than PCIe.
+  EXPECT_GT(p9.link_gbps / x86.link_gbps, 4.0);
+  EXPECT_LT(x86.usable_gpu_bytes(), x86.gpu_capacity_bytes);
+}
+
+TEST(Machine, TestMachineTiny) {
+  const auto m = test_machine(64);
+  EXPECT_EQ(m.usable_gpu_bytes(), 64 * kMiB);
+}
+
+TEST(CostModel, ConvFlopsFormula) {
+  // conv: 2 * N * outH * outW * outC * inC * k * k MACs-equivalent FLOPs.
+  graph::Graph g;
+  auto x = g.add_input(Shape{2, 3, 8, 8}, "in");
+  g.add(graph::LayerKind::kConv, ConvAttrs::conv2d(4, 3, 1, 1), {x}, "conv");
+  const OpCost c = forward_cost(g, 0);
+  EXPECT_DOUBLE_EQ(c.flops, 2.0 * 2 * 8 * 8 * 4 * 3 * 3 * 3);
+  EXPECT_GT(c.bytes, 0.0);
+  // Backward costs about twice the forward arithmetic.
+  EXPECT_DOUBLE_EQ(backward_cost(g, 0).flops, 2.0 * c.flops);
+}
+
+TEST(CostModel, GroupedConvReducesFlops) {
+  graph::Graph g1, g2;
+  auto x1 = g1.add_input(Shape{1, 8, 8, 8}, "in");
+  g1.add(graph::LayerKind::kConv, ConvAttrs::conv2d(8, 3, 1, 1, 1), {x1},
+         "conv");
+  auto x2 = g2.add_input(Shape{1, 8, 8, 8}, "in");
+  g2.add(graph::LayerKind::kConv, ConvAttrs::conv2d(8, 3, 1, 1, 4), {x2},
+         "conv");
+  EXPECT_DOUBLE_EQ(forward_cost(g1, 0).flops,
+                   4.0 * forward_cost(g2, 0).flops);
+}
+
+TEST(CostModel, BnIsBandwidthBound) {
+  graph::Graph g;
+  auto x = g.add_input(Shape{8, 64, 56, 56}, "in");
+  g.add(graph::LayerKind::kBatchNorm, BatchNormAttrs{}, {x}, "bn");
+  const auto m = x86_pcie();
+  const OpCost c = forward_cost(g, 0);
+  EXPECT_EQ(c.flops, 0.0);
+  // Time is bytes / HBM bandwidth + launch latency.
+  const double expect =
+      c.bytes / gbps_to_bytes_per_sec(m.hbm_gbps) + m.kernel_launch_latency_s;
+  EXPECT_DOUBLE_EQ(forward_time(g, 0, m), expect);
+}
+
+TEST(CostModel, TransferTimeLinear) {
+  const auto x86 = x86_pcie();
+  const double t1 = transfer_time(16'000'000'000ull, x86);  // 16 GB
+  EXPECT_NEAR(t1, 1.0, 0.01);  // 16 GB over 16 GB/s ~ 1 s
+  const auto p9 = power9_nvlink();
+  EXPECT_LT(transfer_time(16'000'000'000ull, p9), 0.25);
+}
+
+TEST(CostModel, SwapVsRecomputeAsymmetry) {
+  // The hybrid method's premise (§3.3): for a bandwidth-bound layer like
+  // BN the recompute cost is far below the PCIe swap cost of its feature
+  // map, while for conv the opposite tends to hold.
+  graph::Graph g;
+  auto x = g.add_input(Shape{32, 64, 56, 56}, "in");
+  auto bn = g.add(graph::LayerKind::kBatchNorm, BatchNormAttrs{}, {x}, "bn");
+  g.add(graph::LayerKind::kConv, ConvAttrs::conv2d(64, 3, 1, 1), {bn},
+        "conv");
+  const auto x86 = x86_pcie();
+  const std::size_t map_bytes = g.value(bn).byte_size();
+  const double swap_cost = transfer_time(map_bytes, x86);
+  const double bn_recompute = forward_time(g, 0, x86);
+  EXPECT_LT(bn_recompute * 5.0, swap_cost);
+  // conv recompute is much more expensive relative to its swap.
+  const double conv_recompute = forward_time(g, 1, x86);
+  EXPECT_GT(conv_recompute, bn_recompute);
+}
+
+TEST(CostModel, NvlinkNarrowsTheGap) {
+  // On NVLink the swap cost drops ~4.7x, tilting PoocH toward `swap` —
+  // the Table 3 phenomenon.
+  graph::Graph g;
+  auto x = g.add_input(Shape{32, 64, 56, 56}, "in");
+  g.add(graph::LayerKind::kBatchNorm, BatchNormAttrs{}, {x}, "bn");
+  const std::size_t bytes = g.value(1).byte_size();
+  EXPECT_GT(transfer_time(bytes, x86_pcie()),
+            4.0 * transfer_time(bytes, power9_nvlink()));
+}
+
+TEST(CostModel, ResNet50IterationTimePlausible) {
+  // In-core V100 ResNet-50 throughput was ~316 img/s in the paper
+  // (Figure 17); the roofline should land in the same regime.
+  const auto g = models::resnet50(64);
+  const auto m = x86_pcie();
+  const double t = incore_iteration_time(g, m);
+  const double imgs_per_s = 64.0 / t;
+  EXPECT_GT(imgs_per_s, 150.0);
+  EXPECT_LT(imgs_per_s, 900.0);
+}
+
+TEST(CostModel, AlexNetComputePerByteExceedsResNet) {
+  // AlexNet's large kernels + giant FC layers give it far more arithmetic
+  // per feature-map byte than ResNet-50 — the reason the paper finds its
+  // swaps fully hidden (Figure 19).
+  const auto an = models::alexnet(64);
+  const auto rn = models::resnet50(64);
+  auto ratio = [](const graph::Graph& g) {
+    double flops = 0.0, bytes = 0.0;
+    for (const auto& n : g.nodes()) {
+      flops += forward_cost(g, n.id).flops;
+      bytes += static_cast<double>(g.value(n.output).byte_size());
+    }
+    return flops / bytes;
+  };
+  EXPECT_GT(ratio(an), 2.0 * ratio(rn));
+}
+
+TEST(CostModel, UpdateTimeScalesWithParams) {
+  const auto m = x86_pcie();
+  EXPECT_GT(update_time(models::resnet50(1), m),
+            update_time(models::resnet18(1), m));
+}
+
+}  // namespace
+}  // namespace pooch::cost

@@ -1,0 +1,205 @@
+// Property/fuzz tests over randomly generated graphs and random
+// classifications. The invariants:
+//   - the runtime either completes or reports OOM — never throws, never
+//     corrupts accounting (peak <= capacity, busy <= span);
+//   - every feasible classification executes numerically bit-identical
+//     to the in-core run (real kernels attached);
+//   - plan structure stays consistent (every swapped-in value has uses,
+//     recompute preps appear in topological order).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/autodiff.hpp"
+#include "sim/runtime.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace pooch::sim {
+namespace {
+
+using graph::Graph;
+using graph::LayerKind;
+using graph::ValueId;
+
+/// Random DAG builder: a trunk of mixed layers with occasional residual
+/// adds and branches, always terminating in GAP -> FC -> loss.
+Graph random_graph(std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g;
+  const std::int64_t batch = 1 + static_cast<std::int64_t>(rng.below(3));
+  const std::int64_t image = 8 + 4 * static_cast<std::int64_t>(rng.below(3));
+  std::int64_t channels = 3 + static_cast<std::int64_t>(rng.below(5));
+  ValueId x = g.add_input(Shape{batch, channels, image, image}, "in");
+  std::vector<ValueId> residual_candidates;
+
+  const int depth = 4 + static_cast<int>(rng.below(8));
+  for (int i = 0; i < depth; ++i) {
+    const std::string tag = "n" + std::to_string(i);
+    switch (rng.below(6)) {
+      case 0: {
+        const std::int64_t out_c = 4 + static_cast<std::int64_t>(rng.below(8));
+        x = g.add(LayerKind::kConv, ConvAttrs::conv2d(out_c, 3, 1, 1), {x},
+                  tag + ".conv");
+        channels = out_c;
+        break;
+      }
+      case 1:
+        x = g.add(LayerKind::kBatchNorm, BatchNormAttrs{}, {x}, tag + ".bn");
+        break;
+      case 2:
+        x = g.add(LayerKind::kReLU, std::monostate{}, {x}, tag + ".relu");
+        break;
+      case 3: {
+        DropoutAttrs d;
+        d.rate = 0.3f;
+        d.key = seed * 31 + static_cast<std::uint64_t>(i);
+        x = g.add(LayerKind::kDropout, d, {x}, tag + ".drop");
+        break;
+      }
+      case 4: {
+        // Residual add with a same-shape earlier value when available.
+        ValueId partner = -1;
+        for (ValueId cand : residual_candidates) {
+          if (g.value(cand).shape == g.value(x).shape && cand != x) {
+            partner = cand;
+          }
+        }
+        if (partner >= 0) {
+          x = g.add(LayerKind::kAdd, std::monostate{}, {x, partner},
+                    tag + ".add");
+        } else {
+          x = g.add(LayerKind::kReLU, std::monostate{}, {x}, tag + ".relu");
+        }
+        break;
+      }
+      default: {
+        // Two-branch concat: conv branches with random widths.
+        const std::int64_t c1 = 2 + static_cast<std::int64_t>(rng.below(4));
+        const std::int64_t c2 = 2 + static_cast<std::int64_t>(rng.below(4));
+        auto b1 = g.add(LayerKind::kConv, ConvAttrs::conv2d(c1, 1, 1, 0), {x},
+                        tag + ".b1");
+        auto b2 = g.add(LayerKind::kConv, ConvAttrs::conv2d(c2, 3, 1, 1), {x},
+                        tag + ".b2");
+        x = g.add(LayerKind::kConcat, std::monostate{}, {b1, b2},
+                  tag + ".cat");
+        channels = c1 + c2;
+        break;
+      }
+    }
+    residual_candidates.push_back(x);
+  }
+  x = g.add(LayerKind::kGlobalAvgPool, std::monostate{}, {x}, "gap");
+  FcAttrs head;
+  head.out_features = 4;
+  x = g.add(LayerKind::kFullyConnected, head, {x}, "fc");
+  g.add(LayerKind::kSoftmaxLoss, std::monostate{}, {x}, "loss");
+  g.validate();
+  return g;
+}
+
+Classification random_classes(const Graph& g, Rng& rng) {
+  Classification c(g, ValueClass::kKeep);
+  for (const auto& v : g.values()) {
+    if (v.producer == graph::kNoNode) {
+      if (rng.uniform() < 0.3) c.set(v.id, ValueClass::kSwap);
+      continue;
+    }
+    switch (rng.below(3)) {
+      case 0: c.set(v.id, ValueClass::kSwap); break;
+      case 1: c.set(v.id, ValueClass::kRecompute); break;
+      default: break;
+    }
+  }
+  return c;
+}
+
+class RandomGraphFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphFuzz, PlanInvariantsHold) {
+  const Graph g = random_graph(GetParam());
+  const auto tape = graph::build_backward_tape(g);
+  Rng rng(GetParam() * 7919);
+  for (int round = 0; round < 5; ++round) {
+    const Classification c = random_classes(g, rng);
+    const auto plan = build_backward_plan(g, tape, c);
+    // Every swapped-in value has backward uses and a valid last-use.
+    for (ValueId v : plan.swapin_order) {
+      EXPECT_GT(plan.bwd_uses[static_cast<std::size_t>(v)], 0);
+      EXPECT_GE(plan.last_use_step[static_cast<std::size_t>(v)], 0);
+    }
+    // Recompute preps: within each step, a recomputed value's producer
+    // inputs were materialized by earlier preps or are keep/swapped-in.
+    for (std::size_t k = 0; k < plan.steps.size(); ++k) {
+      std::vector<char> ready(static_cast<std::size_t>(g.num_values()), 0);
+      for (const auto& prep : plan.steps[k].preps) {
+        if (prep.kind == PrepOp::Kind::kRecompute) {
+          for (ValueId in : g.node(prep.node).inputs) {
+            const auto cls = c.of(in);
+            const bool ok = cls == ValueClass::kKeep ||
+                            cls == ValueClass::kSwap ||
+                            ready[static_cast<std::size_t>(in)] ||
+                            plan.last_use_step[static_cast<std::size_t>(
+                                in)] >= 0;
+            EXPECT_TRUE(ok) << "seed " << GetParam() << " step " << k;
+          }
+        }
+        ready[static_cast<std::size_t>(prep.value)] = 1;
+      }
+    }
+  }
+}
+
+TEST_P(RandomGraphFuzz, RuntimeNeverLiesAboutMemory) {
+  const Graph g = random_graph(GetParam());
+  const auto tape = graph::build_backward_tape(g);
+  Rng rng(GetParam() * 104729);
+  for (std::size_t cap_mib : {2, 8, 64}) {
+    auto machine = cost::test_machine(cap_mib);
+    machine.link_gbps = 1.0 + rng.uniform() * 10.0;
+    const CostTimeModel tm(g, machine);
+    const Runtime rt(g, tape, machine, tm);
+    for (int round = 0; round < 4; ++round) {
+      const Classification c = random_classes(g, rng);
+      const RunResult r = rt.run(c);
+      if (r.ok) {
+        EXPECT_LE(r.peak_bytes, machine.usable_gpu_bytes());
+        EXPECT_GE(r.iteration_time, r.timeline.compute_busy - 1e-12);
+        EXPECT_GE(r.swapin_stall + r.memory_stall, -1e-12);
+      } else {
+        EXPECT_TRUE(r.oom);
+        EXPECT_FALSE(r.failure.empty());
+      }
+    }
+  }
+}
+
+TEST_P(RandomGraphFuzz, FeasibleClassificationsAreNumericallyExact) {
+  const Graph g = random_graph(GetParam());
+  const auto tape = graph::build_backward_tape(g);
+  auto machine = cost::test_machine(512);
+  const CostTimeModel tm(g, machine);
+  const Runtime rt(g, tape, machine, tm);
+
+  DataBackend reference(g, GetParam());
+  RunOptions ref_ro;
+  ref_ro.data = &reference;
+  ASSERT_TRUE(rt.run(Classification(g, ValueClass::kKeep), ref_ro).ok);
+
+  Rng rng(GetParam() * 28657);
+  for (int round = 0; round < 3; ++round) {
+    const Classification c = random_classes(g, rng);
+    DataBackend backend(g, GetParam());
+    RunOptions ro;
+    ro.data = &backend;
+    const RunResult r = rt.run(c, ro);
+    ASSERT_TRUE(r.ok) << r.failure;
+    EXPECT_EQ(backend.loss(), reference.loss()) << "seed " << GetParam();
+    EXPECT_EQ(backend.param_norm(), reference.param_norm());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+}  // namespace
+}  // namespace pooch::sim

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "graph/autodiff.hpp"
+#include "models/models.hpp"
+#include "profile/profiler.hpp"
+
+namespace pooch::profile {
+namespace {
+
+using graph::Graph;
+
+struct Rig {
+  Graph g;
+  std::vector<graph::BwdStep> tape;
+  cost::MachineConfig machine;
+  std::unique_ptr<sim::CostTimeModel> tm;
+
+  explicit Rig(Graph graph, double link_gbps = 4.0, std::size_t cap_mib = 512)
+      : g(std::move(graph)), tape(graph::build_backward_tape(g)),
+        machine(cost::test_machine(cap_mib)) {
+    machine.link_gbps = link_gbps;
+    tm = std::make_unique<sim::CostTimeModel>(g, machine);
+  }
+};
+
+TEST(Profiler, AveragesConvergeToGroundTruth) {
+  Rig rig(models::paper_example(8, 32, 32));
+  ProfileOptions opts;
+  opts.iterations = 8;
+  opts.noise_sigma = 0.05;
+  const auto data = run_profiler(rig.g, rig.tape, rig.machine, *rig.tm, opts);
+  ASSERT_EQ(data.forward_time.size(),
+            static_cast<std::size_t>(rig.g.num_nodes()));
+  for (const auto& n : rig.g.nodes()) {
+    const double truth = rig.tm->forward_time(n.id);
+    const double measured = data.forward_time[static_cast<std::size_t>(n.id)];
+    EXPECT_NEAR(measured, truth, 0.15 * truth) << "node " << n.name;
+  }
+  EXPECT_GT(data.profiled_seconds, 0.0);
+  EXPECT_EQ(data.iterations, 8);
+}
+
+TEST(Profiler, ZeroNoiseIsExact) {
+  Rig rig(models::paper_example(8, 32, 32));
+  ProfileOptions opts;
+  opts.iterations = 2;
+  opts.noise_sigma = 0.0;
+  const auto data = run_profiler(rig.g, rig.tape, rig.machine, *rig.tm, opts);
+  for (const auto& n : rig.g.nodes()) {
+    const double f = rig.tm->forward_time(n.id);
+    const double b = rig.tm->backward_time(n.id);
+    // Durations are reconstructed as (end - start) from accumulated
+    // stream clocks, so allow rounding at the last few ulps.
+    EXPECT_NEAR(data.forward_time[static_cast<std::size_t>(n.id)], f,
+                1e-9 * f);
+    EXPECT_NEAR(data.backward_time[static_cast<std::size_t>(n.id)], b,
+                1e-9 * b);
+  }
+  EXPECT_NEAR(data.update_time, rig.tm->update_time(),
+              1e-9 * rig.tm->update_time());
+}
+
+TEST(Profiler, DeterministicForFixedSeed) {
+  Rig rig(models::small_cnn(4, 16));
+  ProfileOptions opts;
+  opts.iterations = 3;
+  opts.noise_sigma = 0.05;
+  const auto a = run_profiler(rig.g, rig.tape, rig.machine, *rig.tm, opts);
+  const auto b = run_profiler(rig.g, rig.tape, rig.machine, *rig.tm, opts);
+  EXPECT_EQ(a.forward_time, b.forward_time);
+  EXPECT_EQ(a.d2h_time, b.d2h_time);
+  EXPECT_EQ(a.unhidden_swapins, b.unhidden_swapins);
+}
+
+TEST(Profiler, UnhiddenSetsNonEmptyOnSlowLink) {
+  Rig rig(models::paper_example(16, 56, 64), /*link_gbps=*/2.0);
+  const auto data = run_profiler(rig.g, rig.tape, rig.machine, *rig.tm, {});
+  EXPECT_FALSE(data.unhidden_swapouts.empty());
+  EXPECT_FALSE(data.unhidden_swapins.empty());
+}
+
+TEST(Profiler, TimeModelFillsUnobservedTransfers) {
+  Rig rig(models::small_cnn(4, 16));
+  ProfileOptions opts;
+  opts.noise_sigma = 0.0;
+  const auto data = run_profiler(rig.g, rig.tape, rig.machine, *rig.tm, opts);
+  const auto table = data.to_time_model(rig.g);
+  // Values with no backward use are never swapped during profiling, but
+  // the table must still price them (from observed effective bandwidth).
+  const auto counts = graph::backward_need_counts(rig.g, rig.tape);
+  bool checked = false;
+  for (graph::ValueId v = 0; v < rig.g.num_values(); ++v) {
+    if (counts[static_cast<std::size_t>(v)] != 0) continue;
+    if (rig.g.value(v).byte_size() == 0) continue;
+    EXPECT_GT(table.d2h_time(v), 0.0) << "v" << v;
+    checked = true;
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(Profiler, ObservedBandwidthPlausible) {
+  Rig rig(models::paper_example(8, 32, 32), /*link_gbps=*/4.0);
+  ProfileOptions opts;
+  opts.noise_sigma = 0.0;
+  const auto data = run_profiler(rig.g, rig.tape, rig.machine, *rig.tm, opts);
+  // Effective bandwidth is below the 4 GB/s line rate (latency) but
+  // within 2x of it.
+  EXPECT_LT(data.observed_bytes_per_sec, 4.0e9);
+  EXPECT_GT(data.observed_bytes_per_sec, 2.0e9);
+}
+
+}  // namespace
+}  // namespace pooch::profile

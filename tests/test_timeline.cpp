@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "graph/autodiff.hpp"
+#include "models/models.hpp"
+#include "sim/runtime.hpp"
+#include "sim/timeline.hpp"
+
+namespace pooch::sim {
+namespace {
+
+TEST(Timeline, EmptyRendersPlaceholder) {
+  Timeline t;
+  const auto g = models::mlp(2, 4, {4}, 2);
+  EXPECT_EQ(t.render(g), "(empty timeline)\n");
+}
+
+TEST(Timeline, RenderContainsAllLanesAndGlyphs) {
+  const auto g = models::small_cnn(4, 16);
+  const auto tape = graph::build_backward_tape(g);
+  auto machine = cost::test_machine(512);
+  machine.link_gbps = 2.0;
+  const CostTimeModel tm(g, machine);
+  const Runtime rt(g, tape, machine, tm);
+  RunOptions ro;
+  ro.record_timeline = true;
+  const auto r = rt.run(Classification(g, ValueClass::kSwap), ro);
+  ASSERT_TRUE(r.ok);
+  const std::string s = r.timeline.render(g, 80);
+  EXPECT_NE(s.find("compute"), std::string::npos);
+  EXPECT_NE(s.find("d2h"), std::string::npos);
+  EXPECT_NE(s.find("h2d"), std::string::npos);
+  EXPECT_NE(s.find('F'), std::string::npos);  // forward
+  EXPECT_NE(s.find('B'), std::string::npos);  // backward
+  EXPECT_NE(s.find('o'), std::string::npos);  // swap-out
+  EXPECT_NE(s.find('i'), std::string::npos);  // swap-in
+  EXPECT_NE(s.find('U'), std::string::npos);  // update
+  // Three lanes of the requested width.
+  std::size_t lanes = 0, pos = 0;
+  while ((pos = s.find('|', pos)) != std::string::npos) {
+    ++lanes;
+    ++pos;
+  }
+  EXPECT_EQ(lanes, 6u);  // open+close per lane
+}
+
+TEST(Timeline, RecomputeGlyphAppears) {
+  const auto g = models::small_cnn(2, 16);
+  const auto tape = graph::build_backward_tape(g);
+  const auto machine = cost::test_machine(512);
+  const CostTimeModel tm(g, machine);
+  const Runtime rt(g, tape, machine, tm);
+  Classification c(g, ValueClass::kKeep);
+  for (const auto& n : g.nodes()) {
+    if (n.kind == graph::LayerKind::kConv) {
+      c.set(n.output, ValueClass::kRecompute);
+    }
+  }
+  RunOptions ro;
+  ro.record_timeline = true;
+  const auto r = rt.run(c, ro);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.timeline.render(g).find('R'), std::string::npos);
+  int recomputes = 0;
+  for (const auto& op : r.timeline.ops) {
+    recomputes += op.kind == OpKind::kRecompute;
+  }
+  EXPECT_GT(recomputes, 0);
+}
+
+TEST(Timeline, ForwardEndSeparatesPhases) {
+  const auto g = models::small_cnn(4, 16);
+  const auto tape = graph::build_backward_tape(g);
+  const auto machine = cost::test_machine(512);
+  const CostTimeModel tm(g, machine);
+  const Runtime rt(g, tape, machine, tm);
+  RunOptions ro;
+  ro.record_timeline = true;
+  const auto r = rt.run(Classification(g, ValueClass::kKeep), ro);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.timeline.forward_end, 0.0);
+  EXPECT_LT(r.timeline.forward_end, r.iteration_time);
+  for (const auto& op : r.timeline.ops) {
+    if (op.kind == OpKind::kForward) {
+      EXPECT_LE(op.end, r.timeline.forward_end + 1e-12);
+    }
+    if (op.kind == OpKind::kBackward) {
+      EXPECT_GE(op.start, r.timeline.forward_end - 1e-12);
+    }
+  }
+}
+
+TEST(Timeline, ClearResetsEverything) {
+  Timeline t;
+  t.ops.push_back({});
+  t.compute_busy = 1.0;
+  t.forward_end = 2.0;
+  t.clear();
+  EXPECT_TRUE(t.ops.empty());
+  EXPECT_EQ(t.compute_busy, 0.0);
+  EXPECT_EQ(t.forward_end, 0.0);
+}
+
+TEST(Timeline, StallMarkedInRender) {
+  // Slow link so backward stalls on swap-ins; '#' must appear.
+  const auto g = models::paper_example(8, 32, 32);
+  const auto tape = graph::build_backward_tape(g);
+  auto machine = cost::test_machine(512);
+  machine.link_gbps = 0.5;
+  const CostTimeModel tm(g, machine);
+  const Runtime rt(g, tape, machine, tm);
+  RunOptions ro;
+  ro.record_timeline = true;
+  const auto r = rt.run(Classification(g, ValueClass::kSwap), ro);
+  ASSERT_TRUE(r.ok);
+  ASSERT_GT(r.compute_stall, 0.0);
+  EXPECT_NE(r.timeline.render(g).find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pooch::sim

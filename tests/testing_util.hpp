@@ -1,0 +1,59 @@
+// Shared test helpers: numeric gradient checking against the analytic
+// backward kernels, and small graph/tensor factories.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace pooch::testing {
+
+/// Check the analytic gradient `analytic` of scalar L = sum(f(x) * probe)
+/// against central differences. `f` evaluates the forward into a fresh
+/// tensor; `probe` weights the output (fixed random), so L is a generic
+/// scalar functional of the op.
+inline void check_gradient(
+    Tensor& x, const Tensor& probe,
+    const std::function<Tensor(const Tensor&)>& f, const Tensor& analytic,
+    float eps = 1e-2f, float tol = 2e-2f) {
+  ASSERT_EQ(analytic.shape(), x.shape());
+  auto scalar = [&](const Tensor& in) {
+    Tensor y = f(in);
+    EXPECT_EQ(y.shape(), probe.shape());
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+      acc += static_cast<double>(y[i]) * static_cast<double>(probe[i]);
+    }
+    return acc;
+  };
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float saved = x[i];
+    x[i] = saved + eps;
+    const double up = scalar(x);
+    x[i] = saved - eps;
+    const double down = scalar(x);
+    x[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    const double diff = std::fabs(numeric - static_cast<double>(analytic[i]));
+    const double denom =
+        std::max(1.0, std::fabs(numeric) + std::fabs(analytic[i]));
+    worst = std::max(worst, diff / denom);
+  }
+  EXPECT_LT(worst, tol) << "worst relative gradient error " << worst;
+}
+
+inline Tensor random_tensor(const Shape& shape, std::uint64_t seed,
+                            float lo = -1.0f, float hi = 1.0f) {
+  Tensor t(shape);
+  Rng rng(seed);
+  fill_uniform(t, rng, lo, hi);
+  return t;
+}
+
+}  // namespace pooch::testing

@@ -1,0 +1,304 @@
+// pooch — command-line front end for the library.
+//
+//   pooch --model resnet50 --batch 512 --machine x86 --method pooch
+//   pooch --model resnext3d --frames 96 --image 384 --machine power9 \
+//         --method all --timeline
+//   pooch --model vgg16 --batch 320 --gpu-gb 24 --link-gbps 32 --method all
+//
+// Prints the run outcome (throughput, peak memory, stalls), optionally the
+// classification and an ASCII timeline. `--method all` compares every
+// method on the same workload.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baselines/policies.hpp"
+#include "baselines/superneurons.hpp"
+#include "common/strings.hpp"
+#include "graph/autodiff.hpp"
+#include "graph/liveness.hpp"
+#include "models/models.hpp"
+#include "pooch/pipeline.hpp"
+
+using namespace pooch;
+
+namespace {
+
+struct CliOptions {
+  std::string model = "resnet50";
+  std::string machine = "x86";
+  std::string method = "pooch";
+  std::int64_t batch = 256;
+  std::int64_t image = 0;      // 0 = model default
+  std::int64_t frames = 32;    // resnext3d only
+  double gpu_gb = 0.0;         // 0 = machine default
+  double link_gbps = 0.0;      // 0 = machine default
+  bool timeline = false;
+  bool show_classes = false;
+  bool help = false;
+  std::string save_plan;  // write PoocH's classification here
+  std::string load_plan;  // execute this saved classification instead
+};
+
+void usage() {
+  std::printf(
+      "pooch — out-of-core training planner/simulator\n\n"
+      "  --model M       mlp | small_cnn | alexnet | vgg16 | resnet18 |\n"
+      "                  resnet50 | resnext3d | inception | paper_example\n"
+      "  --batch N       batch size (default 256)\n"
+      "  --image N       input resolution (model default if omitted)\n"
+      "  --frames N      clip length for resnext3d (default 32)\n"
+      "  --machine M     x86 (PCIe gen3) | power9 (NVLink2)\n"
+      "  --gpu-gb G      override device memory (GiB)\n"
+      "  --link-gbps B   override interconnect bandwidth\n"
+      "  --method M      incore | swap-all | swap-all-naive | swap-opt |\n"
+      "                  superneurons | vdnn | sublinear | pooch | all\n"
+      "  --timeline      render an ASCII timeline of the run\n"
+      "  --classes       dump the per-feature-map classification\n"
+      "  --save-plan F   write PoocH's classification to file F\n"
+      "  --load-plan F   execute a saved classification (method 'exec')\n"
+      "  --help\n");
+}
+
+bool parse_args(int argc, char** argv, CliOptions& o) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "--help" || a == "-h") {
+      o.help = true;
+    } else if (a == "--timeline") {
+      o.timeline = true;
+    } else if (a == "--classes") {
+      o.show_classes = true;
+    } else if (a == "--model" && (v = need_value(i))) {
+      o.model = v;
+    } else if (a == "--machine" && (v = need_value(i))) {
+      o.machine = v;
+    } else if (a == "--method" && (v = need_value(i))) {
+      o.method = v;
+    } else if (a == "--batch" && (v = need_value(i))) {
+      o.batch = std::atol(v);
+    } else if (a == "--image" && (v = need_value(i))) {
+      o.image = std::atol(v);
+    } else if (a == "--frames" && (v = need_value(i))) {
+      o.frames = std::atol(v);
+    } else if (a == "--gpu-gb" && (v = need_value(i))) {
+      o.gpu_gb = std::atof(v);
+    } else if (a == "--link-gbps" && (v = need_value(i))) {
+      o.link_gbps = std::atof(v);
+    } else if (a == "--save-plan" && (v = need_value(i))) {
+      o.save_plan = v;
+    } else if (a == "--load-plan" && (v = need_value(i))) {
+      o.load_plan = v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+graph::Graph build_model(const CliOptions& o) {
+  auto img = [&](std::int64_t def) { return o.image > 0 ? o.image : def; };
+  if (o.model == "mlp") return models::mlp(o.batch, 256, {512, 512}, 10);
+  if (o.model == "small_cnn") return models::small_cnn(o.batch, img(32));
+  if (o.model == "alexnet") return models::alexnet(o.batch);
+  if (o.model == "vgg16") return models::vgg16(o.batch, img(224));
+  if (o.model == "resnet18") return models::resnet18(o.batch, img(224));
+  if (o.model == "resnet50") return models::resnet50(o.batch, img(224));
+  if (o.model == "resnext3d") {
+    return models::resnext101_3d(o.batch, o.frames, img(224));
+  }
+  if (o.model == "inception") return models::inception_toy(o.batch, img(64));
+  if (o.model == "paper_example") {
+    return models::paper_example(o.batch, img(56));
+  }
+  throw Error("unknown model: " + o.model);
+}
+
+cost::MachineConfig build_machine(const CliOptions& o) {
+  cost::MachineConfig m;
+  if (o.machine == "x86") {
+    m = cost::x86_pcie();
+  } else if (o.machine == "power9") {
+    m = cost::power9_nvlink();
+  } else {
+    throw Error("unknown machine: " + o.machine);
+  }
+  if (o.gpu_gb > 0.0) {
+    m.gpu_capacity_bytes = static_cast<std::size_t>(o.gpu_gb * kGiB);
+    // Keep the context/driver reservation proportionate on small pools.
+    m.gpu_reserved_bytes =
+        std::min(m.gpu_reserved_bytes, m.gpu_capacity_bytes / 20);
+  }
+  if (o.link_gbps > 0.0) m.link_gbps = o.link_gbps;
+  return m;
+}
+
+struct Context {
+  graph::Graph g;
+  std::vector<graph::BwdStep> tape;
+  cost::MachineConfig machine;
+  std::unique_ptr<sim::CostTimeModel> hardware;
+  std::unique_ptr<sim::Runtime> runtime;
+  const CliOptions& o;
+};
+
+void report(const Context& ctx, const char* name, const sim::RunResult& r,
+            const std::array<int, 3>* counts = nullptr) {
+  if (!r.ok) {
+    std::printf("%-16s OOM\n", name);
+    if (ctx.o.timeline) std::printf("%s\n", r.failure.c_str());
+    return;
+  }
+  std::printf("%-16s %9.1f items/s   iteration %-10s peak %7s   "
+              "stall %s\n",
+              name, r.throughput(ctx.o.batch),
+              format_time(r.iteration_time).c_str(),
+              format_bytes(r.peak_bytes).c_str(),
+              format_time(r.compute_stall).c_str());
+  if (counts) {
+    std::printf("%-16s keep %d / swap %d / recompute %d\n", "",
+                (*counts)[0], (*counts)[1], (*counts)[2]);
+  }
+  if (ctx.o.timeline) {
+    std::fputs(r.timeline.render(ctx.g).c_str(), stdout);
+  }
+}
+
+void run_method(Context& ctx, const std::string& method) {
+  sim::RunOptions ro;
+  ro.record_timeline = ctx.o.timeline;
+  if (method == "incore") {
+    report(ctx, "in-core",
+           ctx.runtime->run(
+               sim::Classification(ctx.g, sim::ValueClass::kKeep), ro));
+  } else if (method == "swap-all") {
+    auto opts = baselines::swap_all_scheduled_options();
+    opts.record_timeline = ctx.o.timeline;
+    report(ctx, "swap-all",
+           ctx.runtime->run(
+               sim::Classification(ctx.g, sim::ValueClass::kSwap), opts));
+  } else if (method == "swap-all-naive") {
+    auto opts = baselines::swap_all_naive_options();
+    opts.record_timeline = ctx.o.timeline;
+    report(ctx, "swap-all-naive",
+           ctx.runtime->run(
+               sim::Classification(ctx.g, sim::ValueClass::kSwap), opts));
+  } else if (method == "swap-opt") {
+    planner::PoochPlanner planner(ctx.g, ctx.tape, ctx.machine,
+                                  *ctx.hardware);
+    const auto plan = planner.plan_keep_swap_only();
+    if (!plan.feasible) {
+      std::printf("%-16s infeasible\n", "swap-opt");
+      return;
+    }
+    report(ctx, "swap-opt", planner::execute_plan(*ctx.runtime, plan, ro),
+           &plan.counts);
+  } else if (method == "superneurons") {
+    const auto plan = baselines::superneurons_plan(ctx.g, ctx.tape,
+                                                   ctx.machine,
+                                                   *ctx.hardware);
+    auto opts = baselines::superneurons_run_options();
+    opts.record_timeline = ctx.o.timeline;
+    report(ctx, "superneurons", ctx.runtime->run(plan.classes, opts),
+           &plan.counts);
+  } else if (method == "vdnn") {
+    report(ctx, "vdnn",
+           ctx.runtime->run(baselines::vdnn_conv_classify(ctx.g, ctx.tape),
+                            ro));
+  } else if (method == "sublinear") {
+    report(ctx, "sublinear",
+           ctx.runtime->run(baselines::sublinear_classify(ctx.g, ctx.tape),
+                            ro));
+  } else if (method == "pooch") {
+    planner::PipelineOptions po;
+    const auto out = planner::run_pooch(ctx.g, ctx.tape, ctx.machine,
+                                        *ctx.hardware, po);
+    if (!out.ok) {
+      std::printf("%-16s %s\n", "pooch",
+                  out.plan.feasible ? "execution failed" : "infeasible");
+      return;
+    }
+    sim::RunOptions pooch_ro = ro;
+    const auto r = out.execution.ok && !ctx.o.timeline
+                       ? out.execution
+                       : planner::execute_plan(*ctx.runtime, out.plan,
+                                               pooch_ro);
+    report(ctx, "pooch", r, &out.plan.counts);
+    if (ctx.o.show_classes) {
+      std::fputs(out.plan.classes.to_string(ctx.g).c_str(), stdout);
+    }
+    std::printf("%s", out.plan.summary(ctx.g).c_str());
+    if (!ctx.o.save_plan.empty()) {
+      std::ofstream f(ctx.o.save_plan);
+      f << out.plan.classes.serialize() << "\n";
+      std::printf("plan saved to %s\n", ctx.o.save_plan.c_str());
+    }
+  } else if (method == "exec") {
+    if (ctx.o.load_plan.empty()) {
+      std::fprintf(stderr, "method 'exec' needs --load-plan FILE\n");
+      return;
+    }
+    std::ifstream f(ctx.o.load_plan);
+    std::string text;
+    f >> text;
+    const auto classes = sim::Classification::deserialize(ctx.g, text);
+    report(ctx, "exec(saved)", ctx.runtime->run(classes, ro));
+  } else {
+    std::fprintf(stderr, "unknown method: %s\n", method.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions o;
+  if (!parse_args(argc, argv, o)) {
+    usage();
+    return 2;
+  }
+  if (o.help) {
+    usage();
+    return 0;
+  }
+  try {
+    Context ctx{build_model(o), {}, build_machine(o), nullptr, nullptr, o};
+    ctx.tape = graph::build_backward_tape(ctx.g);
+    ctx.hardware = std::make_unique<sim::CostTimeModel>(ctx.g, ctx.machine);
+    ctx.runtime = std::make_unique<sim::Runtime>(ctx.g, ctx.tape, ctx.machine,
+                                                 *ctx.hardware);
+
+    std::printf("%s, batch %ld, %s (%.0f GB GPU, %.0f GB/s link)\n",
+                o.model.c_str(), static_cast<long>(o.batch),
+                ctx.machine.name.c_str(),
+                bytes_to_gib(ctx.machine.gpu_capacity_bytes),
+                ctx.machine.link_gbps);
+    std::printf("in-core memory requirement: %s\n\n",
+                format_bytes(graph::incore_peak_bytes(ctx.g)).c_str());
+
+    if (o.method == "all") {
+      for (const char* m : {"incore", "swap-all-naive", "swap-all",
+                            "swap-opt", "superneurons", "vdnn", "sublinear",
+                            "pooch"}) {
+        run_method(ctx, m);
+      }
+    } else {
+      run_method(ctx, o.method);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
