@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_18_resnet50.dir/bench_fig17_18_resnet50.cpp.o"
+  "CMakeFiles/bench_fig17_18_resnet50.dir/bench_fig17_18_resnet50.cpp.o.d"
+  "bench_fig17_18_resnet50"
+  "bench_fig17_18_resnet50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_18_resnet50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_22_resnext3d.dir/bench_fig21_22_resnext3d.cpp.o"
+  "CMakeFiles/bench_fig21_22_resnext3d.dir/bench_fig21_22_resnext3d.cpp.o.d"
+  "bench_fig21_22_resnext3d"
+  "bench_fig21_22_resnext3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_22_resnext3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

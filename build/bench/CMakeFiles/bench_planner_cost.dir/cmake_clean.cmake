@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_planner_cost.dir/bench_planner_cost.cpp.o"
+  "CMakeFiles/bench_planner_cost.dir/bench_planner_cost.cpp.o.d"
+  "bench_planner_cost"
+  "bench_planner_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_planner_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

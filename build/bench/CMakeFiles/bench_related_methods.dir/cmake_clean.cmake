@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_methods.dir/bench_related_methods.cpp.o"
+  "CMakeFiles/bench_related_methods.dir/bench_related_methods.cpp.o.d"
+  "bench_related_methods"
+  "bench_related_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timeline_anatomy.dir/bench_timeline_anatomy.cpp.o"
+  "CMakeFiles/bench_timeline_anatomy.dir/bench_timeline_anatomy.cpp.o.d"
+  "bench_timeline_anatomy"
+  "bench_timeline_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timeline_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

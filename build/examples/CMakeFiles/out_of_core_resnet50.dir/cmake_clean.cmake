@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core_resnet50.dir/out_of_core_resnet50.cpp.o"
+  "CMakeFiles/out_of_core_resnet50.dir/out_of_core_resnet50.cpp.o.d"
+  "out_of_core_resnet50"
+  "out_of_core_resnet50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core_resnet50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

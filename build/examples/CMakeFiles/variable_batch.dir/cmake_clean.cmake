@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variable_batch.dir/variable_batch.cpp.o"
+  "CMakeFiles/variable_batch.dir/variable_batch.cpp.o.d"
+  "variable_batch"
+  "variable_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variable_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_3dcnn.dir/video_3dcnn.cpp.o"
+  "CMakeFiles/video_3dcnn.dir/video_3dcnn.cpp.o.d"
+  "video_3dcnn"
+  "video_3dcnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_3dcnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

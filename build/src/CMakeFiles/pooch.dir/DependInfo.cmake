@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/policies.cpp" "src/CMakeFiles/pooch.dir/baselines/policies.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/baselines/policies.cpp.o.d"
+  "/root/repo/src/baselines/superneurons.cpp" "src/CMakeFiles/pooch.dir/baselines/superneurons.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/baselines/superneurons.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/pooch.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/pooch.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/common/strings.cpp.o.d"
+  "/root/repo/src/cost/cost_model.cpp" "src/CMakeFiles/pooch.dir/cost/cost_model.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/cost/cost_model.cpp.o.d"
+  "/root/repo/src/cost/machine.cpp" "src/CMakeFiles/pooch.dir/cost/machine.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/cost/machine.cpp.o.d"
+  "/root/repo/src/graph/autodiff.cpp" "src/CMakeFiles/pooch.dir/graph/autodiff.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/graph/autodiff.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/pooch.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/liveness.cpp" "src/CMakeFiles/pooch.dir/graph/liveness.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/graph/liveness.cpp.o.d"
+  "/root/repo/src/kernels/activations.cpp" "src/CMakeFiles/pooch.dir/kernels/activations.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/kernels/activations.cpp.o.d"
+  "/root/repo/src/kernels/batchnorm.cpp" "src/CMakeFiles/pooch.dir/kernels/batchnorm.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/kernels/batchnorm.cpp.o.d"
+  "/root/repo/src/kernels/conv.cpp" "src/CMakeFiles/pooch.dir/kernels/conv.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/kernels/conv.cpp.o.d"
+  "/root/repo/src/kernels/dropout.cpp" "src/CMakeFiles/pooch.dir/kernels/dropout.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/kernels/dropout.cpp.o.d"
+  "/root/repo/src/kernels/elementwise.cpp" "src/CMakeFiles/pooch.dir/kernels/elementwise.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/kernels/elementwise.cpp.o.d"
+  "/root/repo/src/kernels/fc.cpp" "src/CMakeFiles/pooch.dir/kernels/fc.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/kernels/fc.cpp.o.d"
+  "/root/repo/src/kernels/im2col.cpp" "src/CMakeFiles/pooch.dir/kernels/im2col.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/kernels/im2col.cpp.o.d"
+  "/root/repo/src/kernels/matmul.cpp" "src/CMakeFiles/pooch.dir/kernels/matmul.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/kernels/matmul.cpp.o.d"
+  "/root/repo/src/kernels/pool.cpp" "src/CMakeFiles/pooch.dir/kernels/pool.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/kernels/pool.cpp.o.d"
+  "/root/repo/src/kernels/softmax.cpp" "src/CMakeFiles/pooch.dir/kernels/softmax.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/kernels/softmax.cpp.o.d"
+  "/root/repo/src/mem/arena.cpp" "src/CMakeFiles/pooch.dir/mem/arena.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/mem/arena.cpp.o.d"
+  "/root/repo/src/mem/host_pool.cpp" "src/CMakeFiles/pooch.dir/mem/host_pool.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/mem/host_pool.cpp.o.d"
+  "/root/repo/src/models/alexnet.cpp" "src/CMakeFiles/pooch.dir/models/alexnet.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/models/alexnet.cpp.o.d"
+  "/root/repo/src/models/inception_toy.cpp" "src/CMakeFiles/pooch.dir/models/inception_toy.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/models/inception_toy.cpp.o.d"
+  "/root/repo/src/models/mlp.cpp" "src/CMakeFiles/pooch.dir/models/mlp.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/models/mlp.cpp.o.d"
+  "/root/repo/src/models/paper_example.cpp" "src/CMakeFiles/pooch.dir/models/paper_example.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/models/paper_example.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/CMakeFiles/pooch.dir/models/resnet.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/models/resnet.cpp.o.d"
+  "/root/repo/src/models/resnext3d.cpp" "src/CMakeFiles/pooch.dir/models/resnext3d.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/models/resnext3d.cpp.o.d"
+  "/root/repo/src/models/small_cnn.cpp" "src/CMakeFiles/pooch.dir/models/small_cnn.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/models/small_cnn.cpp.o.d"
+  "/root/repo/src/models/vgg.cpp" "src/CMakeFiles/pooch.dir/models/vgg.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/models/vgg.cpp.o.d"
+  "/root/repo/src/pooch/adaptive.cpp" "src/CMakeFiles/pooch.dir/pooch/adaptive.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/pooch/adaptive.cpp.o.d"
+  "/root/repo/src/pooch/pipeline.cpp" "src/CMakeFiles/pooch.dir/pooch/pipeline.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/pooch/pipeline.cpp.o.d"
+  "/root/repo/src/pooch/planner.cpp" "src/CMakeFiles/pooch.dir/pooch/planner.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/pooch/planner.cpp.o.d"
+  "/root/repo/src/profile/profiler.cpp" "src/CMakeFiles/pooch.dir/profile/profiler.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/profile/profiler.cpp.o.d"
+  "/root/repo/src/sim/data_backend.cpp" "src/CMakeFiles/pooch.dir/sim/data_backend.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/sim/data_backend.cpp.o.d"
+  "/root/repo/src/sim/plan.cpp" "src/CMakeFiles/pooch.dir/sim/plan.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/sim/plan.cpp.o.d"
+  "/root/repo/src/sim/runtime.cpp" "src/CMakeFiles/pooch.dir/sim/runtime.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/sim/runtime.cpp.o.d"
+  "/root/repo/src/sim/time_model.cpp" "src/CMakeFiles/pooch.dir/sim/time_model.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/sim/time_model.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/CMakeFiles/pooch.dir/sim/timeline.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/sim/timeline.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/CMakeFiles/pooch.dir/tensor/shape.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/tensor/shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/pooch.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/tensor/tensor_ops.cpp" "src/CMakeFiles/pooch.dir/tensor/tensor_ops.cpp.o" "gcc" "src/CMakeFiles/pooch.dir/tensor/tensor_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

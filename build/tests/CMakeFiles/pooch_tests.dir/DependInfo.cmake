@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive.cpp" "tests/CMakeFiles/pooch_tests.dir/test_adaptive.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_adaptive.cpp.o.d"
+  "/root/repo/tests/test_arena.cpp" "tests/CMakeFiles/pooch_tests.dir/test_arena.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_arena.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/pooch_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/pooch_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_cost.cpp" "tests/CMakeFiles/pooch_tests.dir/test_cost.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_cost.cpp.o.d"
+  "/root/repo/tests/test_equivalence.cpp" "tests/CMakeFiles/pooch_tests.dir/test_equivalence.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_equivalence.cpp.o.d"
+  "/root/repo/tests/test_fuzz_random_graphs.cpp" "tests/CMakeFiles/pooch_tests.dir/test_fuzz_random_graphs.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_fuzz_random_graphs.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/pooch_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_kernels_conv.cpp" "tests/CMakeFiles/pooch_tests.dir/test_kernels_conv.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_kernels_conv.cpp.o.d"
+  "/root/repo/tests/test_kernels_misc.cpp" "tests/CMakeFiles/pooch_tests.dir/test_kernels_misc.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_kernels_misc.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/pooch_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_paper_shapes.cpp" "tests/CMakeFiles/pooch_tests.dir/test_paper_shapes.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_paper_shapes.cpp.o.d"
+  "/root/repo/tests/test_plan.cpp" "tests/CMakeFiles/pooch_tests.dir/test_plan.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_plan.cpp.o.d"
+  "/root/repo/tests/test_planner.cpp" "tests/CMakeFiles/pooch_tests.dir/test_planner.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_planner.cpp.o.d"
+  "/root/repo/tests/test_profiler.cpp" "tests/CMakeFiles/pooch_tests.dir/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_profiler.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/pooch_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_runtime_mechanisms.cpp" "tests/CMakeFiles/pooch_tests.dir/test_runtime_mechanisms.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_runtime_mechanisms.cpp.o.d"
+  "/root/repo/tests/test_shape_tensor.cpp" "tests/CMakeFiles/pooch_tests.dir/test_shape_tensor.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_shape_tensor.cpp.o.d"
+  "/root/repo/tests/test_timeline.cpp" "tests/CMakeFiles/pooch_tests.dir/test_timeline.cpp.o" "gcc" "tests/CMakeFiles/pooch_tests.dir/test_timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pooch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pooch_cli.dir/pooch_cli.cpp.o"
+  "CMakeFiles/pooch_cli.dir/pooch_cli.cpp.o.d"
+  "pooch"
+  "pooch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pooch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
