@@ -6,9 +6,16 @@
 // come from the virtual machine models; the *shape* (who wins, by how
 // much, where methods fail) is the reproduction target. EXPERIMENTS.md
 // records paper-vs-measured for every row.
+//
+// Set POOCH_BENCH_VALIDATE=1 in the environment to re-run every method
+// with timeline recording on and push the result through the
+// obs::TimelineValidator; any invariant violation aborts the bench with
+// a diagnostic. CI uses this to keep the simulator honest while the
+// default bench runs stay fast.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "baselines/policies.hpp"
@@ -17,6 +24,7 @@
 #include "graph/autodiff.hpp"
 #include "graph/liveness.hpp"
 #include "models/models.hpp"
+#include "obs/validate.hpp"
 #include "pooch/pipeline.hpp"
 
 namespace pooch::bench {
@@ -43,25 +51,57 @@ struct MethodResult {
   std::array<int, 3> counts{0, 0, 0};
 };
 
+inline bool validate_enabled() {
+  static const bool on = [] {
+    const char* v = std::getenv("POOCH_BENCH_VALIDATE");
+    return v != nullptr && *v != '\0' && *v != '0';
+  }();
+  return on;
+}
+
+/// POOCH_BENCH_VALIDATE hook: check a recorded run against the timeline
+/// invariants and abort loudly on violation.
+inline void validate_run(const Workload& w, const char* what,
+                         const sim::RunResult& r) {
+  if (!r.ok) return;
+  obs::TimelineValidator validator(w.g, w.tape);
+  const obs::ValidationReport rep =
+      validator.check_run(r, w.machine.usable_gpu_bytes());
+  if (rep.ok()) return;
+  std::fprintf(stderr, "POOCH_BENCH_VALIDATE: %s violates timeline "
+               "invariants\n%s", what, rep.to_string().c_str());
+  std::exit(1);
+}
+
 inline MethodResult run_in_core(const Workload& w, std::int64_t batch) {
-  const auto r = w.rt.run(sim::Classification(w.g, sim::ValueClass::kKeep));
+  sim::RunOptions ro;
+  ro.record_timeline = validate_enabled();
+  const auto r =
+      w.rt.run(sim::Classification(w.g, sim::ValueClass::kKeep), ro);
+  if (validate_enabled()) validate_run(w, "in-core", r);
   return {r.ok, r.iteration_time, r.ok ? r.throughput(batch) : 0.0, {}};
 }
 
 inline MethodResult run_swap_all(const Workload& w, std::int64_t batch,
                                  bool scheduled) {
-  const auto opts = scheduled ? baselines::swap_all_scheduled_options()
-                              : baselines::swap_all_naive_options();
+  auto opts = scheduled ? baselines::swap_all_scheduled_options()
+                        : baselines::swap_all_naive_options();
+  opts.record_timeline = validate_enabled();
   const auto r =
       w.rt.run(sim::Classification(w.g, sim::ValueClass::kSwap), opts);
+  if (validate_enabled()) {
+    validate_run(w, scheduled ? "swap-all" : "swap-all-naive", r);
+  }
   return {r.ok, r.iteration_time, r.ok ? r.throughput(batch) : 0.0, {}};
 }
 
 inline MethodResult run_superneurons(const Workload& w, std::int64_t batch) {
   const auto plan =
       baselines::superneurons_plan(w.g, w.tape, w.machine, w.tm);
-  const auto r =
-      w.rt.run(plan.classes, baselines::superneurons_run_options());
+  auto opts = baselines::superneurons_run_options();
+  opts.record_timeline = validate_enabled();
+  const auto r = w.rt.run(plan.classes, opts);
+  if (validate_enabled()) validate_run(w, "superneurons", r);
   return {r.ok, r.iteration_time, r.ok ? r.throughput(batch) : 0.0,
           plan.counts};
 }
@@ -73,6 +113,14 @@ inline MethodResult run_pooch_method(const Workload& w, std::int64_t batch,
   if (swap_opt_only) po.planner.enable_recompute = false;
   const auto out = planner::run_pooch(w.g, w.tape, w.machine, w.tm, po);
   if (plan_out) *plan_out = out.plan;
+  if (validate_enabled() && out.ok) {
+    // The pipeline's execution runs without timeline recording; repeat
+    // it with recording on so there are spans to validate.
+    sim::RunOptions ro;
+    ro.record_timeline = true;
+    const auto r = planner::execute_plan(w.rt, out.plan, ro);
+    validate_run(w, "pooch", r);
+  }
   return {out.ok, out.iteration_time, out.throughput(batch), out.plan.counts};
 }
 

@@ -52,6 +52,7 @@ std::optional<Offset> Arena::allocate(std::size_t bytes, AllocSide side) {
   const std::size_t block = chosen->second;
   free_blocks_.erase(chosen);
   Offset offset;
+  if (block > need) ++stats_.split_count;
   if (side == AllocSide::kBottom) {
     offset = block_offset;
     if (block > need) free_blocks_.emplace(offset + need, block - need);
@@ -83,6 +84,7 @@ void Arena::free(Offset offset) {
   if (next != free_blocks_.end() && begin + length == next->first) {
     length += next->second;
     next = free_blocks_.erase(next);
+    ++stats_.coalesce_count;
   }
   // Coalesce with the preceding free block.
   if (next != free_blocks_.begin()) {
@@ -91,6 +93,7 @@ void Arena::free(Offset offset) {
       begin = prev->first;
       length += prev->second;
       free_blocks_.erase(prev);
+      ++stats_.coalesce_count;
     }
   }
   free_blocks_.emplace(begin, length);

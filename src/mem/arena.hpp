@@ -29,6 +29,8 @@ struct ArenaStats {
   std::uint64_t alloc_count = 0;
   std::uint64_t free_count = 0;
   std::uint64_t failed_allocs = 0;
+  std::uint64_t split_count = 0;     // free blocks carved by an allocation
+  std::uint64_t coalesce_count = 0;  // neighbour merges performed by free()
 
   /// 0 when empty or unfragmented; approaches 1 as free space shatters.
   double fragmentation() const {

@@ -1,0 +1,70 @@
+// Structural invariant checking for simulated timelines.
+//
+// The planner's whole decision procedure trusts what the timeline
+// simulator says happened, so the schedule itself — not just the numeric
+// results — must be checkable. A TimelineValidator verifies, for any
+// recorded timeline:
+//
+//   - every span is well-formed (finite, end >= start, stall >= 0) and
+//     spans on one stream never overlap (nor do their stall lead-ins);
+//   - compute ops follow program order (forward ops in graph order,
+//     backward ops in tape order, forward phase before backward);
+//   - every dependency edge is respected: each value a compute op reads
+//     was materialized (produced, recomputed, or swapped in) before the
+//     op starts — in particular every swap-in completes before its
+//     consumer starts;
+//   - per-value transfer order is sane: at most one swap-out per value
+//     per iteration, and its H2D re-fetches start only after the D2H
+//     completed;
+//   - accounting closes: per-stream busy sums match the recorded ops,
+//     stall sums match, and busy + stall on the compute stream equals
+//     the stream's end time (the compute stream is gapless by
+//     construction — anything else means lost time);
+//   - (RunResult overloads) iteration/forward times match the timeline,
+//     peak = persistent + arena peak, and peak fits the device.
+//
+// Used by tests (including the random-graph fuzzer), the bench harness
+// (POOCH_BENCH_VALIDATE=1) and `pooch_cli --validate`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/autodiff.hpp"
+#include "sim/runtime.hpp"
+
+namespace pooch::obs {
+
+struct ValidationReport {
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+  /// One error per line; "timeline valid" when clean.
+  std::string to_string() const;
+};
+
+class TimelineValidator {
+ public:
+  TimelineValidator(const graph::Graph& graph,
+                    const std::vector<graph::BwdStep>& tape);
+
+  /// Structural checks on a bare timeline.
+  ValidationReport check(const sim::Timeline& tl) const;
+
+  /// Structural checks plus RunResult accounting (iteration time, stall
+  /// totals, peak composition). The run must have completed (r.ok).
+  ValidationReport check_run(const sim::RunResult& r) const;
+
+  /// check_run plus the capacity bound: peak usage must fit in
+  /// `usable_device_bytes` (e.g. machine.usable_gpu_bytes()).
+  ValidationReport check_run(const sim::RunResult& r,
+                             std::size_t usable_device_bytes) const;
+
+ private:
+  void check_structure(const sim::Timeline& tl, ValidationReport& rep) const;
+
+  const graph::Graph& graph_;
+  const std::vector<graph::BwdStep>& tape_;
+};
+
+}  // namespace pooch::obs

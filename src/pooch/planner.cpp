@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "obs/stats.hpp"
 
 namespace pooch::planner {
 
@@ -174,6 +175,10 @@ PlannerResult PoochPlanner::run_step1(int* sims) const {
         beam.push_back(std::move(scored[i].second));
       }
       POOCH_CHECK_MSG(!beam.empty(), "beam search lost all candidates");
+      if (options_.stats && scored.size() > beam.size()) {
+        options_.stats->counter("planner.beam_prunings")
+            .add(scored.size() - beam.size());
+      }
     }
     assignments = std::move(beam);
   }
@@ -364,18 +369,33 @@ void PoochPlanner::record_schedule(PlannerResult& result,
 }
 
 PlannerResult PoochPlanner::plan() const {
-  const auto t0 = std::chrono::steady_clock::now();
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
   int sims = 0;
   PlannerResult result = run_step1(&sims);
+  const auto t1 = clock::now();
   if (result.feasible && options_.enable_recompute) {
     run_step2(result, &sims);
   }
+  const auto t2 = clock::now();
   record_schedule(result, &sims);
   result.simulations = sims;
   result.counts = result.classes.counts(classifiable_);
   result.planning_wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+      std::chrono::duration<double>(clock::now() - t0).count();
+  if (options_.stats) {
+    obs::StatsRegistry& st = *options_.stats;
+    st.counter("planner.plans").add(1);
+    st.counter("planner.simulations").add(
+        static_cast<std::uint64_t>(sims));
+    st.counter("planner.recompute_rounds")
+        .add(static_cast<std::uint64_t>(result.recompute_rounds));
+    st.gauge("planner.last.step1_seconds")
+        .set(std::chrono::duration<double>(t1 - t0).count());
+    st.gauge("planner.last.step2_seconds")
+        .set(std::chrono::duration<double>(t2 - t1).count());
+    st.gauge("planner.last.total_seconds").set(result.planning_wall_seconds);
+  }
   POOCH_LOG_INFO(result.summary(graph_));
   return result;
 }
@@ -390,6 +410,15 @@ PlannerResult PoochPlanner::plan_keep_swap_only() const {
   result.planning_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (options_.stats) {
+    options_.stats->counter("planner.plans").add(1);
+    options_.stats->counter("planner.simulations")
+        .add(static_cast<std::uint64_t>(sims));
+    options_.stats->gauge("planner.last.step1_seconds")
+        .set(result.planning_wall_seconds);
+    options_.stats->gauge("planner.last.total_seconds")
+        .set(result.planning_wall_seconds);
+  }
   return result;
 }
 

@@ -27,6 +27,10 @@
 
 #include "sim/runtime.hpp"
 
+namespace pooch::obs {
+class StatsRegistry;
+}
+
 namespace pooch::planner {
 
 struct PlannerOptions {
@@ -44,6 +48,10 @@ struct PlannerOptions {
   /// order; planning against a slightly smaller device keeps the chosen
   /// classification feasible under that jitter.
   double memory_safety_margin = 0.03;
+  /// Metrics sink. When set, the search publishes counters (simulations,
+  /// beam prunings, recompute rounds) and step-1/step-2 wall-clock
+  /// gauges. See README "Observability" for the metric names.
+  obs::StatsRegistry* stats = nullptr;
 };
 
 struct PlannerResult {

@@ -9,6 +9,7 @@
 #include "common/strings.hpp"
 #include "mem/arena.hpp"
 #include "mem/host_pool.hpp"
+#include "obs/stats.hpp"
 
 namespace pooch::sim {
 
@@ -121,6 +122,7 @@ class Exec {
     run_update();
     result_.ok = true;
     result_.iteration_time = t_comp_;
+    bump("runtime.runs");
     finalize();
     return std::move(result_);
   }
@@ -129,6 +131,7 @@ class Exec {
     result_.ok = false;
     result_.oom = true;
     result_.failure = std::move(why);
+    bump("runtime.oom");
     finalize();
     return std::move(result_);
   }
@@ -138,6 +141,18 @@ class Exec {
 
   ValueState& st(ValueId v) { return states_[static_cast<std::size_t>(v)]; }
   std::size_t vbytes(ValueId v) const { return g_.value(v).byte_size(); }
+
+  // ---- metrics -----------------------------------------------------
+
+  void bump(const char* name, std::uint64_t n = 1) {
+    if (opts_.stats) opts_.stats->counter(name).add(n);
+  }
+  void set_gauge(const char* name, double v) {
+    if (opts_.stats) opts_.stats->gauge(name).set(v);
+  }
+  void observe(const char* name, double v) {
+    if (opts_.stats) opts_.stats->histogram(name).add(v);
+  }
 
   void build_prefetch_queue() {
     for (std::size_t k = 0; k < plan_.steps.size(); ++k) {
@@ -311,6 +326,25 @@ class Exec {
     return s.swapin_issued && s.dev.has_value() && *s.dev == p.offset;
   }
 
+  /// A cancelled prefetch never ran its DMA: take it back out of the
+  /// timeline (busy accounting and, when recorded, the op span itself),
+  /// or the H2D stream would show two transfers over the same interval
+  /// after the cursor rollback. The duration comes from the H2D cursor
+  /// (this prefetch is the stream's latest issue, so the cursor sits at
+  /// its end) — never from re-querying the time model, whose noisy
+  /// profiling variant draws fresh jitter per call.
+  void unrecord_swapin(const IssuedPrefetch& p) {
+    result_.timeline.h2d_busy -= t_h2d_ - p.h2d_start;
+    if (!opts_.record_timeline) return;
+    auto& ops = result_.timeline.ops;
+    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+      if (it->kind == OpKind::kSwapIn && it->value == p.value) {
+        ops.erase(std::next(it).base());
+        return;
+      }
+    }
+  }
+
   bool cancel_latest_prefetch(double now) {
     while (!issued_.empty() && (st(issued_.back().value).consumed ||
                                 !prefetch_record_valid(issued_.back()))) {
@@ -321,6 +355,7 @@ class Exec {
     if (p.h2d_start <= now) return false;  // DMA already in flight
     issued_.pop_back();
     arena_.free(p.offset);
+    unrecord_swapin(p);  // before the cursor rollback: needs p's end time
     t_h2d_ = p.prev_cursor;
     ValueState& s = st(p.value);
     s.swapin_issued = false;
@@ -328,6 +363,7 @@ class Exec {
     s.ready = 0.0;
     if (opts_.data) opts_.data->free_value(p.value);
     next_q_ = std::min(next_q_, p.queue_index);
+    bump("runtime.rescue.cancel_prefetch");
     return true;
   }
 
@@ -353,6 +389,7 @@ class Exec {
       if (opts_.data) opts_.data->free_value(it->value);
       next_q_ = std::min(next_q_, it->queue_index);
       issued_.erase(std::next(it).base());
+      bump("runtime.rescue.evict_completed_prefetch");
       return true;
     }
     return false;
@@ -384,6 +421,7 @@ class Exec {
     s.swapin_issued = false;
     s.ready = 0.0;
     if (opts_.data) opts_.data->free_value(best);
+    bump("runtime.rescue.wait_inflight_prefetch");
     return true;
   }
 
@@ -411,6 +449,7 @@ class Exec {
     s.swapin_issued = false;
     s.ready = 0.0;
     if (opts_.data) opts_.data->free_value(best);
+    bump("runtime.rescue.evict_clean_resident");
     return true;
   }
 
@@ -429,11 +468,17 @@ class Exec {
         break;
       case OpKind::kSwapOut:
         result_.timeline.d2h_busy += end - start;
+        bump("runtime.swapouts");
+        observe("runtime.transfer_seconds", end - start);
         break;
       case OpKind::kSwapIn:
         result_.timeline.h2d_busy += end - start;
+        bump("runtime.swapins");
+        observe("runtime.transfer_seconds", end - start);
         break;
     }
+    if (kind == OpKind::kRecompute) bump("runtime.recomputes");
+    if (stall > 0.0) observe("runtime.stall_seconds", stall);
     if (stall > 0.0) {
       if (cause == StallCause::kSwapInWait && blame >= 0) {
         result_.swapin_stall += stall;
@@ -550,7 +595,10 @@ class Exec {
         const std::size_t headroom = static_cast<std::size_t>(
             static_cast<double>(upcoming_transients(step, e.need_step)) *
             opts_.headroom_factor);
-        if (arena_.free_bytes() < vbytes(e.value) + headroom) break;
+        if (arena_.free_bytes() < vbytes(e.value) + headroom) {
+          bump("runtime.prefetch.headroom_blocked");
+          break;
+        }
         if (!issue_swap_in(e.value, t, /*blocking=*/false, next_q_, step)) {
           break;
         }
@@ -883,6 +931,28 @@ class Exec {
               result_.unhidden_swapouts.end());
     std::sort(result_.unhidden_swapins.begin(),
               result_.unhidden_swapins.end());
+    if (!opts_.stats) return;
+    set_gauge("runtime.last.iteration_seconds", result_.iteration_time);
+    set_gauge("runtime.last.forward_seconds", result_.forward_time);
+    set_gauge("runtime.last.compute_busy_seconds",
+              result_.timeline.compute_busy);
+    set_gauge("runtime.last.d2h_busy_seconds", result_.timeline.d2h_busy);
+    set_gauge("runtime.last.h2d_busy_seconds", result_.timeline.h2d_busy);
+    set_gauge("runtime.last.compute_stall_seconds", result_.compute_stall);
+    set_gauge("runtime.last.swapin_stall_seconds", result_.swapin_stall);
+    set_gauge("runtime.last.memory_stall_seconds", result_.memory_stall);
+    set_gauge("runtime.last.recompute_seconds", result_.recompute_seconds);
+    const mem::ArenaStats& a = arena_.stats();
+    bump("arena.allocs", a.alloc_count);
+    bump("arena.frees", a.free_count);
+    bump("arena.failed_allocs", a.failed_allocs);
+    bump("arena.splits", a.split_count);
+    bump("arena.coalesces", a.coalesce_count);
+    set_gauge("arena.last.peak_bytes",
+              static_cast<double>(a.peak_in_use));
+    set_gauge("arena.last.fragmentation", a.fragmentation());
+    set_gauge("host.last.peak_bytes",
+              static_cast<double>(host_.peak_in_use()));
   }
 
   // ---- state ---------------------------------------------------------

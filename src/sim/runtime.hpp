@@ -30,6 +30,10 @@
 #include "sim/time_model.hpp"
 #include "sim/timeline.hpp"
 
+namespace pooch::obs {
+class StatsRegistry;
+}
+
 namespace pooch::sim {
 
 enum class SwapInPolicy : std::uint8_t {
@@ -76,6 +80,11 @@ struct RunOptions {
   std::size_t usable_bytes_override = 0;
   /// Optional real execution.
   DataBackend* data = nullptr;
+  /// Metrics sink. When set, the run publishes counters (transfers,
+  /// recomputes, OOM-rescue events, eager-prefetch headroom blocks),
+  /// per-stream busy/stall gauges, arena statistics and stall/transfer
+  /// histograms. See README "Observability" for the metric names.
+  obs::StatsRegistry* stats = nullptr;
 };
 
 struct RunResult {

@@ -13,6 +13,52 @@ void Timeline::clear() {
   compute_busy = d2h_busy = h2d_busy = compute_stall = forward_end = 0.0;
 }
 
+int stream_of(OpKind kind) {
+  switch (kind) {
+    case OpKind::kForward:
+    case OpKind::kBackward:
+    case OpKind::kRecompute:
+    case OpKind::kUpdate:
+      return kComputeStream;
+    case OpKind::kSwapOut:
+      return kD2HStream;
+    case OpKind::kSwapIn:
+      return kH2DStream;
+  }
+  return kComputeStream;
+}
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kForward: return "forward";
+    case OpKind::kBackward: return "backward";
+    case OpKind::kRecompute: return "recompute";
+    case OpKind::kSwapOut: return "swap-out";
+    case OpKind::kSwapIn: return "swap-in";
+    case OpKind::kUpdate: return "update";
+  }
+  return "?";
+}
+
+const char* stream_name(int stream) {
+  switch (stream) {
+    case kComputeStream: return "compute";
+    case kD2HStream: return "d2h";
+    case kH2DStream: return "h2d";
+  }
+  return "?";
+}
+
+const char* stall_cause_name(StallCause cause) {
+  switch (cause) {
+    case StallCause::kNone: return "none";
+    case StallCause::kSwapInWait: return "swapin-wait";
+    case StallCause::kMemoryWait: return "memory-wait";
+    case StallCause::kDependency: return "dependency";
+  }
+  return "?";
+}
+
 namespace {
 
 char op_glyph(const OpRecord& op) {
@@ -25,21 +71,6 @@ char op_glyph(const OpRecord& op) {
     case OpKind::kUpdate: return 'U';
   }
   return '?';
-}
-
-int lane_of(const OpRecord& op) {
-  switch (op.kind) {
-    case OpKind::kForward:
-    case OpKind::kBackward:
-    case OpKind::kRecompute:
-    case OpKind::kUpdate:
-      return 0;
-    case OpKind::kSwapOut:
-      return 1;
-    case OpKind::kSwapIn:
-      return 2;
-  }
-  return 0;
 }
 
 }  // namespace
@@ -55,7 +86,7 @@ std::string Timeline::render(const graph::Graph& graph, int width) const {
   for (auto& r : rows) r.assign(static_cast<std::size_t>(width), '.');
 
   for (const auto& op : ops) {
-    const int lane = lane_of(op);
+    const int lane = stream_of(op.kind);
     int a = static_cast<int>(std::floor(op.start / t_end * width));
     int b = static_cast<int>(std::ceil(op.end / t_end * width));
     a = std::clamp(a, 0, width - 1);

@@ -28,6 +28,18 @@ enum class StallCause : std::uint8_t {
   kDependency,   // waited for another compute op (recompute chains)
 };
 
+/// The three hardware queues the simulator models. Every OpRecord
+/// executes on exactly one of them (stream_of).
+enum StreamId : int { kComputeStream = 0, kD2HStream = 1, kH2DStream = 2 };
+inline constexpr int kNumStreams = 3;
+
+/// Which stream an op kind executes on.
+int stream_of(OpKind kind);
+
+const char* op_kind_name(OpKind kind);
+const char* stream_name(int stream);
+const char* stall_cause_name(StallCause cause);
+
 struct OpRecord {
   OpKind kind{};
   graph::NodeId node = graph::kNoNode;  // compute ops

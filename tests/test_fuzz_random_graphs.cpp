@@ -8,8 +8,12 @@
 //     recompute preps appear in topological order).
 #include <gtest/gtest.h>
 
+#include "baselines/policies.hpp"
+#include "baselines/superneurons.hpp"
 #include "common/rng.hpp"
 #include "graph/autodiff.hpp"
+#include "obs/validate.hpp"
+#include "pooch/pipeline.hpp"
 #include "sim/runtime.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -194,6 +198,57 @@ TEST_P(RandomGraphFuzz, FeasibleClassificationsAreNumericallyExact) {
     ASSERT_TRUE(r.ok) << r.failure;
     EXPECT_EQ(backend.loss(), reference.loss()) << "seed " << GetParam();
     EXPECT_EQ(backend.param_norm(), reference.param_norm());
+  }
+}
+
+TEST_P(RandomGraphFuzz, EveryTimelineSatisfiesTheValidator) {
+  const Graph g = random_graph(GetParam());
+  const auto tape = graph::build_backward_tape(g);
+  const obs::TimelineValidator validator(g, tape);
+  Rng rng(GetParam() * 6151);
+
+  auto check = [&](const cost::MachineConfig& machine, const char* what,
+                   const RunResult& r) {
+    if (!r.ok) return;  // OOM outcomes carry no complete timeline
+    const auto rep = validator.check_run(r, machine.usable_gpu_bytes());
+    EXPECT_TRUE(rep.ok()) << "seed " << GetParam() << " " << what << "\n"
+                          << rep.to_string();
+  };
+
+  for (std::size_t cap_mib : {4, 32, 256}) {
+    auto machine = cost::test_machine(cap_mib);
+    machine.link_gbps = 1.0 + rng.uniform() * 10.0;
+    const CostTimeModel tm(g, machine);
+    const Runtime rt(g, tape, machine, tm);
+
+    RunOptions ro;
+    ro.record_timeline = true;
+    check(machine, "in-core",
+          rt.run(Classification(g, ValueClass::kKeep), ro));
+
+    for (bool scheduled : {false, true}) {
+      auto opts = scheduled ? baselines::swap_all_scheduled_options()
+                            : baselines::swap_all_naive_options();
+      opts.record_timeline = true;
+      check(machine, scheduled ? "swap-all" : "swap-all-naive",
+            rt.run(Classification(g, ValueClass::kSwap), opts));
+    }
+
+    const auto sn = baselines::superneurons_plan(g, tape, machine, tm);
+    auto sn_opts = baselines::superneurons_run_options();
+    sn_opts.record_timeline = true;
+    check(machine, "superneurons", rt.run(sn.classes, sn_opts));
+
+    const planner::PoochPlanner planner(g, tape, machine, tm);
+    const auto plan = planner.plan();
+    if (plan.feasible) {
+      check(machine, "pooch", planner::execute_plan(rt, plan, ro));
+    }
+
+    // Random classifications exercise schedules no planner would emit.
+    for (int round = 0; round < 3; ++round) {
+      check(machine, "random", rt.run(random_classes(g, rng), ro));
+    }
   }
 }
 

@@ -1,0 +1,56 @@
+// Golden classification counts for Table 3 (ResNet-50, batch 512).
+//
+// The planner is deterministic end to end: the profiler's measurement
+// noise comes from a fixed seed, and the search itself has no other
+// randomness. These counts therefore pin the whole pipeline — a change
+// anywhere in the profiler, the timeline simulator, or the two-step
+// search that shifts a single keep/swap/recompute decision shows up
+// here. Update the constants deliberately, with the corresponding
+// EXPERIMENTS.md row, when a change to the model is intended.
+//
+// Runs the full planner twice (both machine presets), so it lives in
+// the `slow` ctest tier.
+#include <gtest/gtest.h>
+
+#include "baselines/superneurons.hpp"
+#include "graph/autodiff.hpp"
+#include "models/models.hpp"
+#include "pooch/pipeline.hpp"
+
+namespace pooch {
+namespace {
+
+struct GoldenCase {
+  const char* name;
+  cost::MachineConfig machine;
+  std::array<int, 3> pooch;         // keep / swap / recompute
+  std::array<int, 3> superneurons;  // keep / swap / recompute
+};
+
+TEST(Table3Golden, Resnet50Batch512Counts) {
+  const graph::Graph g = models::resnet50(512, 224);
+  const auto tape = graph::build_backward_tape(g);
+
+  const GoldenCase cases[] = {
+      {"x86-pcie", cost::x86_pcie(), {42, 63, 1}, {55, 32, 19}},
+      {"power9-nvlink", cost::power9_nvlink(), {5, 101, 0}, {55, 32, 19}},
+  };
+
+  for (const GoldenCase& c : cases) {
+    const sim::CostTimeModel tm(g, c.machine);
+
+    const auto out = planner::run_pooch(g, tape, c.machine, tm, {});
+    ASSERT_TRUE(out.ok) << c.name;
+    EXPECT_EQ(out.plan.counts, c.pooch) << c.name << ": pooch got keep="
+        << out.plan.counts[0] << " swap=" << out.plan.counts[1]
+        << " recompute=" << out.plan.counts[2];
+
+    const auto sn = baselines::superneurons_plan(g, tape, c.machine, tm);
+    EXPECT_EQ(sn.counts, c.superneurons) << c.name
+        << ": superneurons got keep=" << sn.counts[0] << " swap="
+        << sn.counts[1] << " recompute=" << sn.counts[2];
+  }
+}
+
+}  // namespace
+}  // namespace pooch

@@ -21,6 +21,9 @@
 #include "graph/autodiff.hpp"
 #include "graph/liveness.hpp"
 #include "models/models.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+#include "obs/validate.hpp"
 #include "pooch/pipeline.hpp"
 
 using namespace pooch;
@@ -38,9 +41,17 @@ struct CliOptions {
   double link_gbps = 0.0;      // 0 = machine default
   bool timeline = false;
   bool show_classes = false;
+  bool validate = false;   // run the TimelineValidator over each run
+  bool show_stats = false; // print the metrics registry at exit
   bool help = false;
   std::string save_plan;  // write PoocH's classification here
   std::string load_plan;  // execute this saved classification instead
+  std::string trace;      // write a Chrome-trace JSON here
+
+  /// Per-op spans are needed for --timeline, --trace and --validate.
+  bool want_timeline() const {
+    return timeline || validate || !trace.empty();
+  }
 };
 
 void usage() {
@@ -57,6 +68,12 @@ void usage() {
       "  --method M      incore | swap-all | swap-all-naive | swap-opt |\n"
       "                  superneurons | vdnn | sublinear | pooch | all\n"
       "  --timeline      render an ASCII timeline of the run\n"
+      "  --trace F       write a Chrome-trace JSON (chrome://tracing,\n"
+      "                  ui.perfetto.dev); --method all writes one file\n"
+      "                  per method (F gains a .<method> infix)\n"
+      "  --validate      check every recorded timeline against the\n"
+      "                  structural invariants; nonzero exit on violation\n"
+      "  --stats         print the metrics registry before exiting\n"
       "  --classes       dump the per-feature-map classification\n"
       "  --save-plan F   write PoocH's classification to file F\n"
       "  --load-plan F   execute a saved classification (method 'exec')\n"
@@ -80,6 +97,12 @@ bool parse_args(int argc, char** argv, CliOptions& o) {
       o.timeline = true;
     } else if (a == "--classes") {
       o.show_classes = true;
+    } else if (a == "--validate") {
+      o.validate = true;
+    } else if (a == "--stats") {
+      o.show_stats = true;
+    } else if (a == "--trace" && (v = need_value(i))) {
+      o.trace = v;
     } else if (a == "--model" && (v = need_value(i))) {
       o.model = v;
     } else if (a == "--machine" && (v = need_value(i))) {
@@ -152,10 +175,26 @@ struct Context {
   std::unique_ptr<sim::CostTimeModel> hardware;
   std::unique_ptr<sim::Runtime> runtime;
   const CliOptions& o;
+  int exit_status = 0;
 };
 
-void report(const Context& ctx, const char* name, const sim::RunResult& r,
-            const std::array<int, 3>* counts = nullptr) {
+/// Trace path for one method: `--method all` expands run.trace.json into
+/// run.pooch.trace.json, run.swap-all.trace.json, ... so the files do not
+/// overwrite each other.
+std::string trace_path_for(const CliOptions& o, const char* name) {
+  if (o.method != "all") return o.trace;
+  const std::size_t dot = o.trace.find('.');
+  std::string method = name;
+  for (char& c : method) {
+    if (c == ' ' || c == '(' || c == ')') c = '-';
+  }
+  if (dot == std::string::npos) return o.trace + "." + method;
+  return o.trace.substr(0, dot) + "." + method + o.trace.substr(dot);
+}
+
+void report(Context& ctx, const char* name, const sim::RunResult& r,
+            const std::array<int, 3>* counts = nullptr,
+            const sim::Classification* classes = nullptr) {
   if (!r.ok) {
     std::printf("%-16s OOM\n", name);
     if (ctx.o.timeline) std::printf("%s\n", r.failure.c_str());
@@ -174,55 +213,79 @@ void report(const Context& ctx, const char* name, const sim::RunResult& r,
   if (ctx.o.timeline) {
     std::fputs(r.timeline.render(ctx.g).c_str(), stdout);
   }
+  if (ctx.o.validate) {
+    obs::TimelineValidator validator(ctx.g, ctx.tape);
+    const obs::ValidationReport rep =
+        validator.check_run(r, ctx.machine.usable_gpu_bytes());
+    if (rep.ok()) {
+      std::printf("%-16s timeline valid (%zu ops)\n", "",
+                  r.timeline.ops.size());
+    } else {
+      std::fprintf(stderr, "%s: timeline INVALID\n%s", name,
+                   rep.to_string().c_str());
+      ctx.exit_status = 1;
+    }
+  }
+  if (!ctx.o.trace.empty()) {
+    obs::TraceOptions topt;
+    topt.classes = classes;
+    const std::string path = trace_path_for(ctx.o, name);
+    obs::write_chrome_trace(path, ctx.g, r.timeline, topt);
+    std::printf("%-16s trace written to %s\n", "", path.c_str());
+  }
 }
 
 void run_method(Context& ctx, const std::string& method) {
+  obs::StatsRegistry* stats =
+      ctx.o.show_stats ? &obs::StatsRegistry::global() : nullptr;
   sim::RunOptions ro;
-  ro.record_timeline = ctx.o.timeline;
+  ro.record_timeline = ctx.o.want_timeline();
+  ro.stats = stats;
   if (method == "incore") {
-    report(ctx, "in-core",
-           ctx.runtime->run(
-               sim::Classification(ctx.g, sim::ValueClass::kKeep), ro));
+    const sim::Classification c(ctx.g, sim::ValueClass::kKeep);
+    report(ctx, "in-core", ctx.runtime->run(c, ro), nullptr, &c);
   } else if (method == "swap-all") {
+    const sim::Classification c(ctx.g, sim::ValueClass::kSwap);
     auto opts = baselines::swap_all_scheduled_options();
-    opts.record_timeline = ctx.o.timeline;
-    report(ctx, "swap-all",
-           ctx.runtime->run(
-               sim::Classification(ctx.g, sim::ValueClass::kSwap), opts));
+    opts.record_timeline = ctx.o.want_timeline();
+    opts.stats = stats;
+    report(ctx, "swap-all", ctx.runtime->run(c, opts), nullptr, &c);
   } else if (method == "swap-all-naive") {
+    const sim::Classification c(ctx.g, sim::ValueClass::kSwap);
     auto opts = baselines::swap_all_naive_options();
-    opts.record_timeline = ctx.o.timeline;
-    report(ctx, "swap-all-naive",
-           ctx.runtime->run(
-               sim::Classification(ctx.g, sim::ValueClass::kSwap), opts));
+    opts.record_timeline = ctx.o.want_timeline();
+    opts.stats = stats;
+    report(ctx, "swap-all-naive", ctx.runtime->run(c, opts), nullptr, &c);
   } else if (method == "swap-opt") {
+    planner::PlannerOptions popt;
+    popt.stats = stats;
     planner::PoochPlanner planner(ctx.g, ctx.tape, ctx.machine,
-                                  *ctx.hardware);
+                                  *ctx.hardware, popt);
     const auto plan = planner.plan_keep_swap_only();
     if (!plan.feasible) {
       std::printf("%-16s infeasible\n", "swap-opt");
       return;
     }
     report(ctx, "swap-opt", planner::execute_plan(*ctx.runtime, plan, ro),
-           &plan.counts);
+           &plan.counts, &plan.classes);
   } else if (method == "superneurons") {
     const auto plan = baselines::superneurons_plan(ctx.g, ctx.tape,
                                                    ctx.machine,
                                                    *ctx.hardware);
     auto opts = baselines::superneurons_run_options();
-    opts.record_timeline = ctx.o.timeline;
+    opts.record_timeline = ctx.o.want_timeline();
+    opts.stats = stats;
     report(ctx, "superneurons", ctx.runtime->run(plan.classes, opts),
-           &plan.counts);
+           &plan.counts, &plan.classes);
   } else if (method == "vdnn") {
-    report(ctx, "vdnn",
-           ctx.runtime->run(baselines::vdnn_conv_classify(ctx.g, ctx.tape),
-                            ro));
+    const auto c = baselines::vdnn_conv_classify(ctx.g, ctx.tape);
+    report(ctx, "vdnn", ctx.runtime->run(c, ro), nullptr, &c);
   } else if (method == "sublinear") {
-    report(ctx, "sublinear",
-           ctx.runtime->run(baselines::sublinear_classify(ctx.g, ctx.tape),
-                            ro));
+    const auto c = baselines::sublinear_classify(ctx.g, ctx.tape);
+    report(ctx, "sublinear", ctx.runtime->run(c, ro), nullptr, &c);
   } else if (method == "pooch") {
     planner::PipelineOptions po;
+    po.planner.stats = stats;
     const auto out = planner::run_pooch(ctx.g, ctx.tape, ctx.machine,
                                         *ctx.hardware, po);
     if (!out.ok) {
@@ -231,11 +294,11 @@ void run_method(Context& ctx, const std::string& method) {
       return;
     }
     sim::RunOptions pooch_ro = ro;
-    const auto r = out.execution.ok && !ctx.o.timeline
+    const auto r = out.execution.ok && !ctx.o.want_timeline()
                        ? out.execution
                        : planner::execute_plan(*ctx.runtime, out.plan,
                                                pooch_ro);
-    report(ctx, "pooch", r, &out.plan.counts);
+    report(ctx, "pooch", r, &out.plan.counts, &out.plan.classes);
     if (ctx.o.show_classes) {
       std::fputs(out.plan.classes.to_string(ctx.g).c_str(), stdout);
     }
@@ -254,7 +317,8 @@ void run_method(Context& ctx, const std::string& method) {
     std::string text;
     f >> text;
     const auto classes = sim::Classification::deserialize(ctx.g, text);
-    report(ctx, "exec(saved)", ctx.runtime->run(classes, ro));
+    report(ctx, "exec(saved)", ctx.runtime->run(classes, ro), nullptr,
+           &classes);
   } else {
     std::fprintf(stderr, "unknown method: %s\n", method.c_str());
   }
@@ -296,9 +360,12 @@ int main(int argc, char** argv) {
     } else {
       run_method(ctx, o.method);
     }
+    if (o.show_stats) {
+      std::printf("\n%s", obs::StatsRegistry::global().to_string().c_str());
+    }
+    return ctx.exit_status;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
 }
