@@ -1,0 +1,136 @@
+#include "common/thread_pool.hpp"
+
+#include <chrono>
+
+namespace pooch {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double seconds_since(clock::time_point t0) {
+  return std::chrono::duration<double>(clock::now() - t0).count();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int spawn = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(static_cast<std::size_t>(spawn));
+  for (int i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::run_job(Job& job) {
+  const auto t0 = clock::now();
+  for (;;) {
+    if (job.aborted.load(std::memory_order_relaxed)) break;
+    const std::size_t begin =
+        job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (begin >= job.n) break;
+    const std::size_t end = std::min(begin + job.chunk, job.n);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (job.aborted.load(std::memory_order_relaxed)) break;
+      try {
+        (*job.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_mu);
+        // Keep the exception of the lowest index: claim order is the
+        // closest parallel analogue of "the first one a sequential loop
+        // would have hit", and it is stable across runs of equal work.
+        if (!job.error || i < job.error_index) {
+          job.error = std::current_exception();
+          job.error_index = i;
+        }
+        job.aborted.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  job.busy_ns.fetch_add(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+          .count(),
+      std::memory_order_relaxed);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_seq = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || job_seq_ != seen_seq; });
+      if (stop_) return;
+      seen_seq = job_seq_;
+      job = job_;
+      if (!job) continue;  // job already drained between notify and wake
+      job->active.fetch_add(1, std::memory_order_relaxed);
+    }
+    run_job(*job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->active.fetch_sub(1, std::memory_order_relaxed);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) {
+    last_wall_seconds_ = 0.0;
+    last_busy_seconds_ = 0.0;
+    return;
+  }
+  const auto t0 = clock::now();
+  Job job;
+  job.n = n;
+  job.fn = &fn;
+  // Chunks small enough to balance uneven task costs (the planner's
+  // simulations vary with how much of the timeline a candidate changes),
+  // large enough that the shared cursor is not contended.
+  const std::size_t parallelism = static_cast<std::size_t>(size());
+  job.chunk = std::max<std::size_t>(1, n / (parallelism * 8));
+
+  if (workers_.empty()) {
+    run_job(job);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &job;
+      ++job_seq_;
+    }
+    cv_.notify_all();
+    run_job(job);  // the caller claims chunks too
+    {
+      // Detach the job before waiting out stragglers so a late-waking
+      // worker never sees a dangling pointer.
+      std::unique_lock<std::mutex> lock(mu_);
+      job_ = nullptr;
+      done_cv_.wait(lock, [&] {
+        return job.active.load(std::memory_order_relaxed) == 0;
+      });
+    }
+  }
+
+  last_wall_seconds_ = seconds_since(t0);
+  last_busy_seconds_ =
+      static_cast<double>(job.busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace pooch

@@ -1,0 +1,99 @@
+// Shared-queue thread pool with a chunk-claiming parallel_for.
+//
+// Built for the planner's classification search (src/pooch/planner.cpp):
+// thousands of independent timeline simulations, each hundreds of
+// microseconds to a few milliseconds, fanned out across workers and then
+// reduced deterministically by the caller. The design follows from that
+// use:
+//  - parallel_for(n, fn) is the only scheduling primitive. Tasks are
+//    index ranges claimed from a shared atomic cursor in chunks, so fast
+//    workers steal the tail of slow workers' iteration space without any
+//    per-task queue traffic (the "work-stealing/chunked" middle ground:
+//    stealing happens at the chunk granularity).
+//  - The calling thread participates as a worker, so a pool of size 1
+//    (or 0) degenerates to a plain sequential loop — callers need no
+//    separate sequential code path, which is what keeps the parallel
+//    planner bit-identical to the sequential one.
+//  - Exceptions thrown by `fn` are captured; the first one (by claim
+//    order, not time) is rethrown on the calling thread after the loop
+//    drains. Remaining iterations are abandoned once an exception is
+//    seen.
+//  - Busy time is accumulated per parallel_for and queryable afterwards
+//    (last_busy_seconds), so callers can publish worker-utilization
+//    metrics without timing every task themselves.
+//
+// Determinism contract: parallel_for guarantees every index in [0, n) is
+// executed exactly once, but in no particular order and on no particular
+// thread. Callers that need a deterministic result must write into
+// per-index slots and reduce in index order afterwards (see
+// docs/ALGORITHMS.md "Parallel search" for the planner's argument).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pooch {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the calling thread:
+  /// a pool of size N spawns N-1 workers. 0 and 1 both mean "no worker
+  /// threads" (parallel_for runs inline).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the calling thread), at least 1.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Run fn(i) for every i in [0, n), distributed over all threads.
+  /// Blocks until every index has executed (or an exception aborted the
+  /// remainder). Not reentrant: parallel_for must not be called from
+  /// inside fn, and only one caller may drive the pool at a time.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Wall-clock seconds the last parallel_for spent in the caller's
+  /// thread, and the summed busy seconds across all participating
+  /// threads. busy / (wall * size()) is the utilization of the fan-out.
+  double last_wall_seconds() const { return last_wall_seconds_; }
+  double last_busy_seconds() const { return last_busy_seconds_; }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int hardware_threads();
+
+ private:
+  struct Job {
+    std::atomic<std::size_t> next{0};
+    std::size_t n = 0;
+    std::size_t chunk = 1;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<bool> aborted{false};
+    std::atomic<int> active{0};
+    std::exception_ptr error;      // guarded by error_mu
+    std::size_t error_index = 0;   // claim index of `error`, for "first"
+    std::mutex error_mu;
+    std::atomic<long long> busy_ns{0};
+  };
+
+  void worker_loop();
+  static void run_job(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;        // workers wait for a job
+  std::condition_variable done_cv_;   // caller waits for drain
+  Job* job_ = nullptr;                // guarded by mu_
+  std::uint64_t job_seq_ = 0;         // guarded by mu_; wakes workers
+  bool stop_ = false;                 // guarded by mu_
+  double last_wall_seconds_ = 0.0;
+  double last_busy_seconds_ = 0.0;
+};
+
+}  // namespace pooch

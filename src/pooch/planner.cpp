@@ -1,13 +1,17 @@
 #include "pooch/planner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <limits>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/stats.hpp"
 
 namespace pooch::planner {
@@ -48,6 +52,21 @@ void sort_from_output_layer(std::vector<ValueId>& values, const Graph& g) {
 
 }  // namespace
 
+/// Per-plan mutable state threaded through the (const) search: simulation
+/// and cache-hit tallies (atomic — workers bump them concurrently) and
+/// fan-out utilization, accumulated only on the calling thread.
+struct PoochPlanner::SearchCtx {
+  std::atomic<int> sims{0};
+  std::atomic<int> cache_hits{0};
+  double parallel_wall_seconds = 0.0;
+  double parallel_busy_seconds = 0.0;
+};
+
+struct PoochPlanner::EvalCache {
+  std::mutex mu;
+  std::unordered_map<std::string, Eval> map;
+};
+
 std::string PlannerResult::summary(const Graph& graph) const {
   (void)graph;
   std::ostringstream os;
@@ -57,9 +76,11 @@ std::string PlannerResult::summary(const Graph& graph) const {
      << "  #keep=" << counts[0] << " #swap=" << counts[1]
      << " #recompute=" << counts[2] << "\n"
      << "  |L_O|=" << lo.size() << " |L_I|=" << li.size() << ", "
-     << simulations << " timeline simulations, " << recompute_rounds
-     << " recompute rounds"
-     << (used_beam_fallback ? ", beam fallback" : "") << ", "
+     << simulations << " timeline simulations (" << step1_simulations
+     << " step 1, " << step2_simulations << " step 2), " << cache_hits
+     << " cache hits, " << recompute_rounds << " recompute rounds"
+     << (used_beam_fallback ? ", beam fallback" : "") << ", " << threads_used
+     << (threads_used == 1 ? " thread, " : " threads, ")
      << format_time(planning_wall_seconds) << " planning time\n";
   return os.str();
 }
@@ -77,17 +98,40 @@ PoochPlanner::PoochPlanner(const Graph& graph,
       classifiable_(sim::classifiable_values(graph, tape)),
       runtime_(graph_, tape_, machine_, time_model),
       unbounded_machine_(make_unbounded(machine)),
-      unbounded_runtime_(graph, tape, unbounded_machine_, time_model) {}
+      unbounded_runtime_(graph, tape, unbounded_machine_, time_model) {
+  int threads = options_.threads == 0 ? ThreadPool::hardware_threads()
+                                      : options_.threads;
+  POOCH_CHECK_MSG(threads >= 0, "negative planner thread count");
+  // Concurrent queries of an order-dependent time model (profiling
+  // noise) would neither be safe nor mean anything; plan sequentially.
+  if (!time_model.concurrent_safe()) threads = 1;
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  if (options_.cache) cache_ = std::make_unique<EvalCache>();
+}
 
-PoochPlanner::Eval PoochPlanner::evaluate(const Classification& classes,
+PoochPlanner::~PoochPlanner() = default;
+
+void PoochPlanner::for_candidates(
+    std::size_t n, SearchCtx& ctx,
+    const std::function<void(std::size_t)>& fn) const {
+  if (!pool_ || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool_->parallel_for(n, fn);
+  ctx.parallel_wall_seconds += pool_->last_wall_seconds();
+  ctx.parallel_busy_seconds += pool_->last_busy_seconds();
+}
+
+PoochPlanner::Eval PoochPlanner::simulate(const Classification& classes,
                                           bool unbounded,
-                                          int* sim_counter) const {
+                                          SearchCtx& ctx) const {
   sim::RunOptions ro;
   ro.swapin_policy = options_.policy;
   ro.record_timeline = false;
   const sim::RunResult r =
       (unbounded ? unbounded_runtime_ : runtime_).run(classes, ro);
-  ++*sim_counter;
+  ctx.sims.fetch_add(1, std::memory_order_relaxed);
   Eval e;
   e.feasible = r.ok;
   e.time = r.iteration_time;
@@ -95,7 +139,34 @@ PoochPlanner::Eval PoochPlanner::evaluate(const Classification& classes,
   return e;
 }
 
-PlannerResult PoochPlanner::run_step1(int* sims) const {
+PoochPlanner::Eval PoochPlanner::evaluate(const Classification& classes,
+                                          bool unbounded,
+                                          SearchCtx& ctx) const {
+  if (!cache_) return simulate(classes, unbounded, ctx);
+  // Canonical key: one char per value plus the machine tag. Exact-match
+  // lookups mean a hit returns precisely what the miss computed, so the
+  // cache can never steer the search — only shortcut it.
+  std::string key = classes.serialize();
+  key.push_back(unbounded ? 'U' : 'B');
+  {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    const auto it = cache_->map.find(key);
+    if (it != cache_->map.end()) {
+      ctx.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Simulate outside the lock: concurrent workers may race to fill the
+  // same key, at worst duplicating one simulation of identical result.
+  const Eval e = simulate(classes, unbounded, ctx);
+  {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    cache_->map.emplace(std::move(key), e);
+  }
+  return e;
+}
+
+PlannerResult PoochPlanner::run_step1(SearchCtx& ctx) const {
   PlannerResult result;
 
   // 1. Simulate the safe default: everything swapped (§4.4.2 step 1).
@@ -103,7 +174,7 @@ PlannerResult PoochPlanner::run_step1(int* sims) const {
   sim::RunOptions ro;
   ro.swapin_policy = options_.policy;
   const sim::RunResult base = runtime_.run(all_swap, ro);
-  ++*sims;
+  ctx.sims.fetch_add(1, std::memory_order_relaxed);
   if (!base.ok) {
     // Even swap-all does not fit: report infeasibility with the safest
     // classification; callers surface this as the paper's OOM outcome.
@@ -136,6 +207,14 @@ PlannerResult PoochPlanner::run_step1(int* sims) const {
   sort_from_output_layer(lo_only, graph_);
   sort_from_output_layer(li, graph_);
 
+  auto classification_of = [&](const std::vector<bool>& bits) {
+    Classification c = all_swap;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i]) c.set(li[i], ValueClass::kKeep);
+    }
+    return c;
+  };
+
   // Beam fallback above the exhaustive cap: truncate the enumerated tree
   // by keeping only the most promising prefixes, level by level.
   std::vector<std::vector<bool>> assignments;
@@ -151,71 +230,100 @@ PlannerResult PoochPlanner::run_step1(int* sims) const {
     result.used_beam_fallback = true;
     std::vector<std::vector<bool>> beam{{}};
     for (std::size_t level = 0; level < li.size(); ++level) {
-      std::vector<std::pair<double, std::vector<bool>>> scored;
+      // Expand every prefix by both bits in enumeration order, score the
+      // expansions concurrently into per-index slots, then reduce
+      // sequentially. Ties in predicted time break toward the lower
+      // enumeration index — a fixed rule, so the surviving beam is
+      // independent of evaluation order and thread count.
+      std::vector<std::vector<bool>> expanded;
+      expanded.reserve(beam.size() * 2);
       for (const auto& prefix : beam) {
         for (bool bit : {false, true}) {
           std::vector<bool> next = prefix;
           next.push_back(bit);
-          Classification c = all_swap;
-          for (std::size_t i = 0; i <= level; ++i) {
-            if (next[i]) c.set(li[i], ValueClass::kKeep);
-          }
-          const Eval e = evaluate(c, false, sims);
-          if (!e.feasible) continue;
-          scored.emplace_back(e.time, std::move(next));
+          expanded.push_back(std::move(next));
         }
       }
-      std::sort(scored.begin(), scored.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
-      beam.clear();
+      std::vector<Eval> evals(expanded.size());
+      for_candidates(expanded.size(), ctx, [&](std::size_t j) {
+        evals[j] = evaluate(classification_of(expanded[j]), false, ctx);
+      });
+      std::vector<std::pair<double, std::size_t>> scored;
+      for (std::size_t j = 0; j < expanded.size(); ++j) {
+        if (evals[j].feasible) scored.emplace_back(evals[j].time, j);
+      }
+      std::sort(scored.begin(), scored.end());  // (time, index): total order
+      std::vector<std::vector<bool>> survivors;
       for (std::size_t i = 0;
            i < scored.size() &&
            i < static_cast<std::size_t>(options_.beam_width);
            ++i) {
-        beam.push_back(std::move(scored[i].second));
+        survivors.push_back(std::move(expanded[scored[i].second]));
       }
-      POOCH_CHECK_MSG(!beam.empty(), "beam search lost all candidates");
-      if (options_.stats && scored.size() > beam.size()) {
+      POOCH_CHECK_MSG(!survivors.empty(), "beam search lost all candidates");
+      if (options_.stats && scored.size() > survivors.size()) {
         options_.stats->counter("planner.beam_prunings")
-            .add(scored.size() - beam.size());
+            .add(scored.size() - survivors.size());
       }
+      beam = std::move(survivors);
     }
     assignments = std::move(beam);
   }
 
   // 3. Evaluate every assignment: fix the L_I bits, then run the greedy
   // keep-from-the-output scan over L_O \ L_I (Figure 13) and score the
-  // final classification.
-  double best_time = std::numeric_limits<double>::infinity();
-  Classification best = all_swap;
-  bool any_feasible = false;
-  for (const auto& bits : assignments) {
-    Classification c = all_swap;
-    for (std::size_t i = 0; i < li.size(); ++i) {
-      if (bits[i]) c.set(li[i], ValueClass::kKeep);
-    }
-    Eval e = evaluate(c, false, sims);
-    if (!e.feasible) continue;  // keeping more cannot restore feasibility
-    for (ValueId v : lo_only) {
-      c.set(v, ValueClass::kKeep);
-      const Eval trial = evaluate(c, false, sims);
-      if (!trial.feasible) {
-        c.set(v, ValueClass::kSwap);  // does not fit: leave it swapped
-      } else {
-        e = trial;
+  // final classification. Each candidate is independent — its greedy
+  // scan starts from its own all_swap+bits state — so the whole set fans
+  // out across workers. Only (feasible, time, peak) is recorded per
+  // candidate; the winning classification is re-derived afterwards (from
+  // cache when enabled), which keeps memory O(candidates), not
+  // O(candidates × values), when bruteforce_cap is raised.
+  auto score_assignment = [&](const std::vector<bool>& bits,
+                              Classification* out_classes) {
+    Classification c = classification_of(bits);
+    Eval e = evaluate(c, false, ctx);
+    if (e.feasible) {
+      for (ValueId v : lo_only) {
+        c.set(v, ValueClass::kKeep);
+        const Eval trial = evaluate(c, false, ctx);
+        if (!trial.feasible) {
+          c.set(v, ValueClass::kSwap);  // does not fit: leave it swapped
+        } else {
+          e = trial;
+        }
       }
     }
+    if (out_classes) *out_classes = std::move(c);
+    return e;
+  };
+
+  std::vector<Eval> outcomes(assignments.size());
+  for_candidates(assignments.size(), ctx, [&](std::size_t i) {
+    outcomes[i] = score_assignment(assignments[i], nullptr);
+  });
+
+  // Sequential reduction in enumeration order: a strict `<` keeps the
+  // earliest of equal-time candidates, exactly as the sequential scan
+  // did — the fixed tie-break that makes the plan thread-count-invariant.
+  double best_time = std::numeric_limits<double>::infinity();
+  std::size_t best_index = assignments.size();
+  bool any_feasible = false;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].feasible) continue;
     any_feasible = true;
-    if (e.time < best_time) {
-      best_time = e.time;
-      best = c;
-      result.predicted_peak = e.peak;
+    if (outcomes[i].time < best_time) {
+      best_time = outcomes[i].time;
+      best_index = i;
     }
   }
 
-  if (!any_feasible) {
+  Classification best = all_swap;
+  if (any_feasible) {
+    const Eval e = score_assignment(assignments[best_index], &best);
+    best_time = e.time;
+    result.predicted_peak = e.peak;
+  } else {
     // Fall back to the feasible swap-all baseline.
-    best = all_swap;
     best_time = base.iteration_time;
     result.predicted_peak = base.peak_bytes;
   }
@@ -228,7 +336,8 @@ PlannerResult PoochPlanner::run_step1(int* sims) const {
   // does not hurt the predicted time. Leave one largest-map of slack
   // below the planning capacity: execution times differ from the
   // profile, and a plan packed to the brim fragments under the shifted
-  // malloc/free order.
+  // malloc/free order. (Inherently sequential: each flip's verdict
+  // depends on every flip accepted before it.)
   std::size_t largest_map = 0;
   for (ValueId v : classifiable_) {
     largest_map = std::max(largest_map, graph_.value(v).byte_size());
@@ -245,7 +354,7 @@ PlannerResult PoochPlanner::run_step1(int* sims) const {
     sort_from_output_layer(remaining, graph_);
     for (ValueId v : remaining) {
       c.set(v, ValueClass::kKeep);
-      const Eval e = evaluate(c, false, sims);
+      const Eval e = evaluate(c, false, ctx);
       if (!e.feasible || e.time > time || e.peak > absorb_limit) {
         c.set(v, ValueClass::kSwap);
       } else {
@@ -275,7 +384,7 @@ PlannerResult PoochPlanner::run_step1(int* sims) const {
   return result;
 }
 
-void PoochPlanner::run_step2(PlannerResult& result, int* sims) const {
+void PoochPlanner::run_step2(PlannerResult& result, SearchCtx& ctx) const {
   // §4.4.3: the candidates are the maps still classified `swap`.
   std::vector<ValueId> pool;
   for (ValueId v : classifiable_) {
@@ -291,29 +400,42 @@ void PoochPlanner::run_step2(PlannerResult& result, int* sims) const {
 
   while (!pool.empty()) {
     ++result.recompute_rounds;
-    double best_r = std::numeric_limits<double>::infinity();
-    ValueId best_v = -1;
-    double best_time = 0.0;
-    std::size_t best_peak = 0;
-    std::vector<ValueId> keep_as_swap;
 
     // Stall attribution of the current classification: the fallback
     // estimate of swap_overhead(X) when keeping X does not fit.
     sim::RunOptions ro;
     ro.swapin_policy = options_.policy;
     const sim::RunResult cur_run = runtime_.run(current, ro);
-    ++*sims;
+    ctx.sims.fetch_add(1, std::memory_order_relaxed);
 
-    for (ValueId v : pool) {
-      // Baseline: the same classification with X kept. When keeping X
-      // does not fit, fall back to the stall time the current run
-      // attributes to X's transfers (see DESIGN.md).
-      current.set(v, ValueClass::kKeep);
-      const Eval ek = evaluate(current, /*unbounded=*/false, sims);
-      current.set(v, ValueClass::kRecompute);
-      const Eval er = evaluate(current, /*unbounded=*/false, sims);
-      current.set(v, ValueClass::kSwap);
+    // Probe every candidate with X=keep and X=recompute concurrently.
+    // Each probe takes a private copy of `current` (workers must not
+    // mutate the shared classification in place the way the sequential
+    // set/restore dance did); results land in per-index slots.
+    struct Probe {
+      Eval keep;
+      Eval rec;
+    };
+    std::vector<Probe> probes(pool.size());
+    for_candidates(pool.size(), ctx, [&](std::size_t j) {
+      Classification c = current;
+      c.set(pool[j], ValueClass::kKeep);
+      probes[j].keep = evaluate(c, /*unbounded=*/false, ctx);
+      c.set(pool[j], ValueClass::kRecompute);
+      probes[j].rec = evaluate(c, /*unbounded=*/false, ctx);
+    });
 
+    // Sequential reduction in pool order, identical to the sequential
+    // scan: strict `<` on r keeps the earliest of equal candidates.
+    double best_r = std::numeric_limits<double>::infinity();
+    ValueId best_v = -1;
+    double best_time = 0.0;
+    std::size_t best_peak = 0;
+    std::vector<ValueId> keep_as_swap;
+    for (std::size_t j = 0; j < pool.size(); ++j) {
+      const ValueId v = pool[j];
+      const Eval& ek = probes[j].keep;
+      const Eval& er = probes[j].rec;
       if (!er.feasible) {
         keep_as_swap.push_back(v);
         continue;
@@ -356,67 +478,92 @@ void PoochPlanner::run_step2(PlannerResult& result, int* sims) const {
 }
 
 void PoochPlanner::record_schedule(PlannerResult& result,
-                                   int* sims) const {
+                                   SearchCtx& ctx) const {
   if (!result.feasible) return;
   // Derived on the margin-reduced planning device: its issue points are
   // conservative, so replaying them on the full device is safe.
   sim::RunOptions ro;
   ro.swapin_policy = options_.policy;
   const sim::RunResult r = runtime_.run(result.classes, ro);
-  ++*sims;
+  ctx.sims.fetch_add(1, std::memory_order_relaxed);
   if (r.ok) result.swapin_issue_steps = r.swapin_issue_step;
   result.planning_usable_bytes = machine_.usable_gpu_bytes();
+}
+
+void PoochPlanner::finish(PlannerResult& result, SearchCtx& ctx,
+                          std::chrono::steady_clock::time_point t0) const {
+  result.simulations = ctx.sims.load(std::memory_order_relaxed);
+  result.cache_hits = ctx.cache_hits.load(std::memory_order_relaxed);
+  result.threads_used = pool_ ? pool_->size() : 1;
+  result.counts = result.classes.counts(classifiable_);
+  result.planning_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!options_.stats) return;
+  obs::StatsRegistry& st = *options_.stats;
+  st.counter("planner.plans").add(1);
+  st.counter("planner.simulations")
+      .add(static_cast<std::uint64_t>(result.simulations));
+  st.counter("planner.cache_hits")
+      .add(static_cast<std::uint64_t>(result.cache_hits));
+  st.counter("planner.recompute_rounds")
+      .add(static_cast<std::uint64_t>(result.recompute_rounds));
+  st.gauge("planner.last.threads")
+      .set(static_cast<double>(result.threads_used));
+  st.gauge("planner.last.total_seconds").set(result.planning_wall_seconds);
+  if (cache_) {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    st.gauge("planner.cache_entries")
+        .set(static_cast<double>(cache_->map.size()));
+  }
+  // Utilization of the fan-out phases: summed worker busy time over the
+  // capacity (threads × fan-out wall time). 1.0 means every worker was
+  // saturated whenever candidates were in flight.
+  if (pool_ && ctx.parallel_wall_seconds > 0.0) {
+    st.gauge("planner.last.parallel_wall_seconds")
+        .set(ctx.parallel_wall_seconds);
+    st.gauge("planner.last.worker_utilization")
+        .set(ctx.parallel_busy_seconds /
+             (ctx.parallel_wall_seconds *
+              static_cast<double>(result.threads_used)));
+  }
 }
 
 PlannerResult PoochPlanner::plan() const {
   using clock = std::chrono::steady_clock;
   const auto t0 = clock::now();
-  int sims = 0;
-  PlannerResult result = run_step1(&sims);
+  SearchCtx ctx;
+  PlannerResult result = run_step1(ctx);
+  result.step1_simulations = ctx.sims.load(std::memory_order_relaxed);
   const auto t1 = clock::now();
   if (result.feasible && options_.enable_recompute) {
-    run_step2(result, &sims);
+    run_step2(result, ctx);
   }
+  result.step2_simulations =
+      ctx.sims.load(std::memory_order_relaxed) - result.step1_simulations;
   const auto t2 = clock::now();
-  record_schedule(result, &sims);
-  result.simulations = sims;
-  result.counts = result.classes.counts(classifiable_);
-  result.planning_wall_seconds =
-      std::chrono::duration<double>(clock::now() - t0).count();
+  record_schedule(result, ctx);
+  finish(result, ctx, t0);
   if (options_.stats) {
-    obs::StatsRegistry& st = *options_.stats;
-    st.counter("planner.plans").add(1);
-    st.counter("planner.simulations").add(
-        static_cast<std::uint64_t>(sims));
-    st.counter("planner.recompute_rounds")
-        .add(static_cast<std::uint64_t>(result.recompute_rounds));
-    st.gauge("planner.last.step1_seconds")
+    options_.stats->gauge("planner.last.step1_seconds")
         .set(std::chrono::duration<double>(t1 - t0).count());
-    st.gauge("planner.last.step2_seconds")
+    options_.stats->gauge("planner.last.step2_seconds")
         .set(std::chrono::duration<double>(t2 - t1).count());
-    st.gauge("planner.last.total_seconds").set(result.planning_wall_seconds);
   }
   POOCH_LOG_INFO(result.summary(graph_));
   return result;
 }
 
 PlannerResult PoochPlanner::plan_keep_swap_only() const {
-  const auto t0 = std::chrono::steady_clock::now();
-  int sims = 0;
-  PlannerResult result = run_step1(&sims);
-  record_schedule(result, &sims);
-  result.simulations = sims;
-  result.counts = result.classes.counts(classifiable_);
-  result.planning_wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  SearchCtx ctx;
+  PlannerResult result = run_step1(ctx);
+  result.step1_simulations = ctx.sims.load(std::memory_order_relaxed);
+  record_schedule(result, ctx);
+  finish(result, ctx, t0);
   if (options_.stats) {
-    options_.stats->counter("planner.plans").add(1);
-    options_.stats->counter("planner.simulations")
-        .add(static_cast<std::uint64_t>(sims));
     options_.stats->gauge("planner.last.step1_seconds")
-        .set(result.planning_wall_seconds);
-    options_.stats->gauge("planner.last.total_seconds")
         .set(result.planning_wall_seconds);
   }
   return result;

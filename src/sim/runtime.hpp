@@ -134,6 +134,17 @@ class Runtime {
           const cost::MachineConfig& machine, const TimeModel& time_model);
 
   /// Simulate (and optionally execute) one training iteration.
+  ///
+  /// Thread safety: run() is re-entrant. The Runtime itself holds only
+  /// const references; every piece of execution state (arena, host pool,
+  /// value states, stream cursors, the RunResult) lives in a per-call
+  /// Exec on this thread's stack. Concurrent run() calls on one Runtime
+  /// are therefore safe provided (a) the TimeModel reports
+  /// concurrent_safe() — NoisyTimeModel does not, its queries mutate a
+  /// shared Rng — and (b) options.data is null or distinct per thread (a
+  /// DataBackend carries real tensors and is not synchronized). An
+  /// attached StatsRegistry is safe: counters and gauges are atomic.
+  /// The parallel planner (pooch::planner) relies on exactly this.
   RunResult run(const Classification& classes,
                 const RunOptions& options = {}) const;
 

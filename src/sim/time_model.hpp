@@ -28,6 +28,14 @@ class TimeModel {
   virtual double d2h_time(graph::ValueId value) const = 0;
   virtual double h2d_time(graph::ValueId value) const = 0;
   virtual double update_time() const = 0;
+
+  /// True when concurrent const queries from multiple threads are safe
+  /// AND deterministic (the same query always returns the same value).
+  /// Runtime::run is re-entrant — all execution state lives in a
+  /// per-call Exec — so this is the only property a caller must check
+  /// before running simulations of the same Runtime concurrently. The
+  /// parallel planner falls back to a single thread when it is false.
+  virtual bool concurrent_safe() const { return true; }
 };
 
 /// Deterministic times from the roofline cost model.
@@ -57,6 +65,10 @@ class NoisyTimeModel : public TimeModel {
   double d2h_time(graph::ValueId value) const override;
   double h2d_time(graph::ValueId value) const override;
   double update_time() const override;
+
+  /// Each query mutates rng_, and the draw depends on query order — not
+  /// safe (and not meaningful) under concurrent access.
+  bool concurrent_safe() const override { return false; }
 
  private:
   double jitter() const;

@@ -4,10 +4,13 @@
 
 #include <cmath>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "graph/graph.hpp"
 #include "tensor/tensor.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -54,6 +57,87 @@ inline Tensor random_tensor(const Shape& shape, std::uint64_t seed,
   Rng rng(seed);
   fill_uniform(t, rng, lo, hi);
   return t;
+}
+
+/// Random DAG builder shared by the fuzz suites: a trunk of mixed layers
+/// with occasional residual adds and branches, always terminating in
+/// GAP -> FC -> loss. Same seed → same graph.
+inline graph::Graph random_graph(std::uint64_t seed) {
+  using graph::Graph;
+  using graph::LayerKind;
+  using graph::ValueId;
+  Rng rng(seed);
+  Graph g;
+  const std::int64_t batch = 1 + static_cast<std::int64_t>(rng.below(3));
+  const std::int64_t image = 8 + 4 * static_cast<std::int64_t>(rng.below(3));
+  std::int64_t channels = 3 + static_cast<std::int64_t>(rng.below(5));
+  ValueId x = g.add_input(Shape{batch, channels, image, image}, "in");
+  std::vector<ValueId> residual_candidates;
+
+  const int depth = 4 + static_cast<int>(rng.below(8));
+  for (int i = 0; i < depth; ++i) {
+    const std::string tag = "n" + std::to_string(i);
+    switch (rng.below(6)) {
+      case 0: {
+        const std::int64_t out_c = 4 + static_cast<std::int64_t>(rng.below(8));
+        x = g.add(LayerKind::kConv, ConvAttrs::conv2d(out_c, 3, 1, 1),
+                  {x}, tag + ".conv");
+        channels = out_c;
+        break;
+      }
+      case 1:
+        x = g.add(LayerKind::kBatchNorm, BatchNormAttrs{}, {x},
+                  tag + ".bn");
+        break;
+      case 2:
+        x = g.add(LayerKind::kReLU, std::monostate{}, {x}, tag + ".relu");
+        break;
+      case 3: {
+        DropoutAttrs d;
+        d.rate = 0.3f;
+        d.key = seed * 31 + static_cast<std::uint64_t>(i);
+        x = g.add(LayerKind::kDropout, d, {x}, tag + ".drop");
+        break;
+      }
+      case 4: {
+        // Residual add with a same-shape earlier value when available.
+        ValueId partner = -1;
+        for (ValueId cand : residual_candidates) {
+          if (g.value(cand).shape == g.value(x).shape && cand != x) {
+            partner = cand;
+          }
+        }
+        if (partner >= 0) {
+          x = g.add(LayerKind::kAdd, std::monostate{}, {x, partner},
+                    tag + ".add");
+        } else {
+          x = g.add(LayerKind::kReLU, std::monostate{}, {x}, tag + ".relu");
+        }
+        break;
+      }
+      default: {
+        // Two-branch concat: conv branches with random widths.
+        const std::int64_t c1 = 2 + static_cast<std::int64_t>(rng.below(4));
+        const std::int64_t c2 = 2 + static_cast<std::int64_t>(rng.below(4));
+        auto b1 = g.add(LayerKind::kConv, ConvAttrs::conv2d(c1, 1, 1, 0),
+                        {x}, tag + ".b1");
+        auto b2 = g.add(LayerKind::kConv, ConvAttrs::conv2d(c2, 3, 1, 1),
+                        {x}, tag + ".b2");
+        x = g.add(LayerKind::kConcat, std::monostate{}, {b1, b2},
+                  tag + ".cat");
+        channels = c1 + c2;
+        break;
+      }
+    }
+    residual_candidates.push_back(x);
+  }
+  x = g.add(LayerKind::kGlobalAvgPool, std::monostate{}, {x}, "gap");
+  FcAttrs head;
+  head.out_features = 4;
+  x = g.add(LayerKind::kFullyConnected, head, {x}, "fc");
+  g.add(LayerKind::kSoftmaxLoss, std::monostate{}, {x}, "loss");
+  g.validate();
+  return g;
 }
 
 }  // namespace pooch::testing

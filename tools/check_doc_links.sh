@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Docs drift guard: every path-like reference and every bench/CMake
+# target named in the top-level docs must actually exist in the tree.
+# Registered as the tier-1 ctest `docs_links`; run manually from the
+# repo root as tools/check_doc_links.sh. Exits nonzero listing every
+# stale reference.
+set -u
+
+cd "$(dirname "$0")/.."
+
+DOCS=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/ALGORITHMS.md)
+fail=0
+
+# Build-target names. Direct add_executable/add_test declarations, plus
+# every target declared through the list+foreach idiom the bench/ and
+# examples/ CMakeLists use — for those, the target name equals the .cpp
+# basename.
+targets=$(
+  { grep -rhoE 'add_(executable|library|test)\(\s*(NAME\s+)?[A-Za-z0-9_]+' \
+      --include=CMakeLists.txt . \
+    | sed -E 's/.*\(\s*(NAME\s+)?//'
+    find bench examples tools tests -name '*.cpp' \
+    | sed -E 's|.*/||; s|\.cpp$||'
+    # pooch_cli's executable is renamed on disk; both names are real.
+    echo pooch
+  } | sort -u
+)
+
+exists_somewhere() {
+  # Bare filename: accept it if it exists anywhere in the tree.
+  [ -n "$(find . -path ./build -prune -o -name "$1" -print -quit)" ]
+}
+
+for doc in "${DOCS[@]}"; do
+  [ -f "$doc" ] || { echo "MISSING DOC: $doc"; fail=1; continue; }
+
+  # Backticked references that look like repo paths. Strip trailing
+  # :line and #anchor. Skip command lines (spaces), globs, placeholders
+  # (<...>), URLs, flags, and generated artifacts (build trees, traces,
+  # bench JSON).
+  refs=$(grep -oE '`[^` ]+`' "$doc" | tr -d '`' | sort -u)
+  while IFS= read -r ref; do
+    [ -n "$ref" ] || continue
+    case "$ref" in
+      *'<'*|*'>'*|*'*'*|*'$'*|http*|-*) continue ;;
+    esac
+    path="${ref%%:*}"
+    path="${path%%#*}"
+    case "$path" in
+      build*|*.trace.json|BENCH_*|*.log) continue ;;  # generated at runtime
+    esac
+    if [[ "$path" == */* ]]; then
+      # Only treat it as a path when the leading component is a real
+      # directory; otherwise it's prose like a metric-name family.
+      top="${path%%/*}"
+      [ -d "$top" ] || continue
+      if [ ! -e "$path" ]; then
+        echo "$doc: stale path reference: $ref"
+        fail=1
+      fi
+    else
+      case "$path" in
+        *.md|*.cpp|*.hpp|*.sh|*.json|*.txt) ;;
+        *) continue ;;  # identifiers, flags, type names
+      esac
+      if ! exists_somewhere "$path"; then
+        echo "$doc: stale file reference: $ref"
+        fail=1
+      fi
+    fi
+  done <<< "$refs"
+
+  # bench_* / pooch_* words used as target names in prose or commands.
+  words=$(grep -ohE '\b(bench_[a-z0-9_]+|pooch_cli|pooch_tests|pooch_slow_tests)\b' "$doc" | sort -u)
+  while IFS= read -r word; do
+    [ -n "$word" ] || continue
+    case "$word" in
+      *.json|*.cpp|*.hpp) continue ;;  # file references, handled above
+    esac
+    if ! printf '%s\n' "$targets" | grep -qx "$word"; then
+      echo "$doc: references nonexistent build target: $word"
+      fail=1
+    fi
+  done <<< "$words"
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_doc_links: FAILED (stale references above)"
+  exit 1
+fi
+echo "check_doc_links: OK (${#DOCS[@]} docs checked)"

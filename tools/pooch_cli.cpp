@@ -39,6 +39,7 @@ struct CliOptions {
   std::int64_t frames = 32;    // resnext3d only
   double gpu_gb = 0.0;         // 0 = machine default
   double link_gbps = 0.0;      // 0 = machine default
+  int threads = 1;             // planner search parallelism; 0 = all cores
   bool timeline = false;
   bool show_classes = false;
   bool validate = false;   // run the TimelineValidator over each run
@@ -67,6 +68,9 @@ void usage() {
       "  --link-gbps B   override interconnect bandwidth\n"
       "  --method M      incore | swap-all | swap-all-naive | swap-opt |\n"
       "                  superneurons | vdnn | sublinear | pooch | all\n"
+      "  --threads N     parallelize the planner's classification search\n"
+      "                  over N threads (0 = one per core, default 1);\n"
+      "                  the chosen plan is identical at any setting\n"
       "  --timeline      render an ASCII timeline of the run\n"
       "  --trace F       write a Chrome-trace JSON (chrome://tracing,\n"
       "                  ui.perfetto.dev); --method all writes one file\n"
@@ -119,6 +123,8 @@ bool parse_args(int argc, char** argv, CliOptions& o) {
       o.gpu_gb = std::atof(v);
     } else if (a == "--link-gbps" && (v = need_value(i))) {
       o.link_gbps = std::atof(v);
+    } else if (a == "--threads" && (v = need_value(i))) {
+      o.threads = std::atoi(v);
     } else if (a == "--save-plan" && (v = need_value(i))) {
       o.save_plan = v;
     } else if (a == "--load-plan" && (v = need_value(i))) {
@@ -259,6 +265,7 @@ void run_method(Context& ctx, const std::string& method) {
   } else if (method == "swap-opt") {
     planner::PlannerOptions popt;
     popt.stats = stats;
+    popt.threads = ctx.o.threads;
     planner::PoochPlanner planner(ctx.g, ctx.tape, ctx.machine,
                                   *ctx.hardware, popt);
     const auto plan = planner.plan_keep_swap_only();
@@ -286,6 +293,7 @@ void run_method(Context& ctx, const std::string& method) {
   } else if (method == "pooch") {
     planner::PipelineOptions po;
     po.planner.stats = stats;
+    po.planner.threads = ctx.o.threads;
     const auto out = planner::run_pooch(ctx.g, ctx.tape, ctx.machine,
                                         *ctx.hardware, po);
     if (!out.ok) {
