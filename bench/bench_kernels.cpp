@@ -1,0 +1,250 @@
+// Kernel-layer throughput: blocked/vectorized/multithreaded kernels vs
+// the scalar *_ref oracles.
+//
+//   build/bench/bench_kernels [output.json]
+//
+// Measures the numeric workhorses on representative shapes — a square
+// GEMM, a ResNet-50 mid-network convolution, an AlexNet fully-connected
+// layer, a 3-D ResNeXt convolution — across a thread sweep, and writes
+// BENCH_kernels.json (tools/bench_compare.py diffs two such files and
+// fails on regression). Every configuration is verified bit-identical to
+// the reference before it is timed: a fast-but-wrong kernel aborts the
+// bench.
+//
+// Times are best-of-N wall clock (first rep doubles as warm-up);
+// `speedup` is ref_seconds / seconds for the same shape.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernels/conv.hpp"
+#include "kernels/fc.hpp"
+#include "kernels/kernel_context.hpp"
+#include "kernels/matmul.hpp"
+#include "common/rng.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace pooch::kernels {
+namespace {
+
+double time_best(const std::function<void()>& fn, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+Tensor random_tensor(const Shape& shape, std::uint64_t seed) {
+  Tensor t(shape);
+  Rng rng(seed);
+  fill_uniform(t, rng, -1.0f, 1.0f);
+  return t;
+}
+
+void check_identical(const Tensor& got, const Tensor& want,
+                     const char* kernel) {
+  if (got.shape() == want.shape() &&
+      std::memcmp(got.data(), want.data(),
+                  sizeof(float) * static_cast<std::size_t>(got.numel())) ==
+          0) {
+    return;
+  }
+  std::fprintf(stderr, "%s: fast kernel is not bit-identical to ref\n",
+               kernel);
+  std::exit(1);
+}
+
+struct Row {
+  std::string kernel;
+  std::string shape;
+  int threads = 1;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double ref_seconds = 0.0;
+  double speedup = 0.0;
+};
+
+/// One benchmark case: `fast` runs the blocked kernel under a context and
+/// leaves its output in `out`; `ref` runs the scalar oracle into `out_ref`.
+struct Case {
+  std::string kernel;
+  std::string shape;
+  double flops = 0.0;
+  std::function<void(KernelContext&)> fast;
+  std::function<void()> ref;
+  const Tensor* out = nullptr;
+  const Tensor* out_ref = nullptr;
+};
+
+void run_case(const Case& c, const std::vector<int>& thread_sweep,
+              std::vector<Row>& rows) {
+  const double ref_seconds = time_best(c.ref, 2);
+  for (int threads : thread_sweep) {
+    KernelContext ctx(threads);
+    c.fast(ctx);
+    check_identical(*c.out, *c.out_ref, c.kernel.c_str());
+    const double seconds = time_best([&] { c.fast(ctx); }, 3);
+    Row r;
+    r.kernel = c.kernel;
+    r.shape = c.shape;
+    r.threads = threads;
+    r.seconds = seconds;
+    r.gflops = c.flops / seconds * 1e-9;
+    r.ref_seconds = ref_seconds;
+    r.speedup = ref_seconds / seconds;
+    rows.push_back(r);
+    std::printf("| %-14s | %-22s | %7d | %9.4f | %7.2f | %9.4f | %6.2fx |\n",
+                r.kernel.c_str(), r.shape.c_str(), r.threads, r.seconds,
+                r.gflops, r.ref_seconds, r.speedup);
+  }
+}
+
+double conv_flops(const Shape& xs, const ConvAttrs& a) {
+  const Shape ys = conv_output_shape(xs, a);
+  double outs = 1.0;
+  for (int d = 0; d < ys.rank(); ++d) outs *= static_cast<double>(ys[d]);
+  const double kvol = static_cast<double>(a.kernel[0] * a.kernel[1] *
+                                          a.kernel[2]);
+  const double cin_per_group = static_cast<double>(xs[1] / a.groups);
+  return 2.0 * outs * cin_per_group * kvol;
+}
+
+void write_json(const char* path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"kernels\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"shape\": \"%s\", "
+                 "\"threads\": %d, \"seconds\": %.6f, \"gflops\": %.3f, "
+                 "\"ref_seconds\": %.6f, \"speedup\": %.3f}%s\n",
+                 r.kernel.c_str(), r.shape.c_str(), r.threads, r.seconds,
+                 r.gflops, r.ref_seconds, r.speedup,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwritten to %s\n", path);
+}
+
+int run(const char* json_path) {
+  const std::vector<int> sweep{1, 2, 4, 8};
+  std::vector<Row> rows;
+  std::printf("| kernel         | shape                  | threads | "
+              "seconds   | gflops  | ref s     | speedup |\n"
+              "|----------------|------------------------|---------|"
+              "-----------|---------|-----------|---------|\n");
+
+  // Square GEMM — the layer every conv/fc call funnels into.
+  {
+    const std::int64_t m = 512, k = 512, n = 512;
+    const Tensor a = random_tensor(Shape{m, k}, 1);
+    const Tensor b = random_tensor(Shape{k, n}, 2);
+    Tensor c(Shape{m, n});
+    Tensor c_ref(Shape{m, n});
+    matmul_ref(a.data(), b.data(), c_ref.data(), m, k, n);
+    Case cs;
+    cs.kernel = "matmul";
+    cs.shape = "512x512x512";
+    cs.flops = 2.0 * static_cast<double>(m) * k * n;
+    cs.fast = [&](KernelContext& ctx) {
+      matmul(a.data(), b.data(), c.data(), m, k, n, ctx);
+    };
+    cs.ref = [&] { matmul_ref(a.data(), b.data(), c_ref.data(), m, k, n); };
+    cs.out = &c;
+    cs.out_ref = &c_ref;
+    run_case(cs, sweep, rows);
+  }
+
+  // ResNet-50 conv3x3 at 14x14 (conv4_x block shape, reduced batch).
+  {
+    const Shape xs{4, 256, 14, 14};
+    const ConvAttrs attrs = ConvAttrs::conv2d(256, 3, 1, 1);
+    const Tensor x = random_tensor(xs, 3);
+    const Tensor w = random_tensor(conv_weight_shape(xs, attrs), 4);
+    const Tensor bias = random_tensor(Shape{attrs.out_channels}, 5);
+    Tensor y(conv_output_shape(xs, attrs));
+    Tensor y_ref(conv_output_shape(xs, attrs));
+    conv_forward_ref(x, w, &bias, y_ref, attrs);
+    Case cs;
+    cs.kernel = "conv2d_r50";
+    cs.shape = "4x256x14x14 k3";
+    cs.flops = conv_flops(xs, attrs);
+    cs.fast = [&](KernelContext& ctx) {
+      conv_forward(x, w, &bias, y, attrs, ctx);
+    };
+    cs.ref = [&] { conv_forward_ref(x, w, &bias, y_ref, attrs); };
+    cs.out = &y;
+    cs.out_ref = &y_ref;
+    run_case(cs, sweep, rows);
+  }
+
+  // AlexNet fc6: the big dense layer (9216 -> 4096), reduced batch.
+  {
+    const std::int64_t batch = 16, in_f = 9216, out_f = 4096;
+    FcAttrs attrs;
+    attrs.out_features = out_f;
+    const Tensor x = random_tensor(Shape{batch, in_f}, 6);
+    const Tensor w = random_tensor(Shape{out_f, in_f}, 7);
+    const Tensor bias = random_tensor(Shape{out_f}, 8);
+    Tensor y(Shape{batch, out_f});
+    Tensor y_ref(Shape{batch, out_f});
+    fc_forward_ref(x, w, &bias, y_ref, attrs);
+    Case cs;
+    cs.kernel = "fc_alexnet";
+    cs.shape = "16x9216x4096";
+    cs.flops = 2.0 * static_cast<double>(batch) * in_f * out_f;
+    cs.fast = [&](KernelContext& ctx) {
+      fc_forward(x, w, &bias, y, attrs, ctx);
+    };
+    cs.ref = [&] { fc_forward_ref(x, w, &bias, y_ref, attrs); };
+    cs.out = &y;
+    cs.out_ref = &y_ref;
+    run_case(cs, sweep, rows);
+  }
+
+  // 3-D ResNeXt-style convolution (the paper's flagship workload).
+  {
+    const Shape xs{1, 64, 4, 14, 14};
+    const ConvAttrs attrs = ConvAttrs::conv3d(64, 3, 1, 1);
+    const Tensor x = random_tensor(xs, 9);
+    const Tensor w = random_tensor(conv_weight_shape(xs, attrs), 10);
+    const Tensor bias = random_tensor(Shape{attrs.out_channels}, 11);
+    Tensor y(conv_output_shape(xs, attrs));
+    Tensor y_ref(conv_output_shape(xs, attrs));
+    conv_forward_ref(x, w, &bias, y_ref, attrs);
+    Case cs;
+    cs.kernel = "conv3d_rx";
+    cs.shape = "1x64x4x14x14 k3";
+    cs.flops = conv_flops(xs, attrs);
+    cs.fast = [&](KernelContext& ctx) {
+      conv_forward(x, w, &bias, y, attrs, ctx);
+    };
+    cs.ref = [&] { conv_forward_ref(x, w, &bias, y_ref, attrs); };
+    cs.out = &y;
+    cs.out_ref = &y_ref;
+    run_case(cs, sweep, rows);
+  }
+
+  write_json(json_path, rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pooch::kernels
+
+int main(int argc, char** argv) {
+  return pooch::kernels::run(argc > 1 ? argv[1] : "BENCH_kernels.json");
+}

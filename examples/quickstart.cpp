@@ -14,6 +14,7 @@
 
 #include "common/strings.hpp"
 #include "graph/autodiff.hpp"
+#include "kernels/kernel_context.hpp"
 #include "models/models.hpp"
 #include "pooch/pipeline.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -57,8 +58,13 @@ int main() {
               bytes_to_mib(result.execution.peak_bytes),
               bytes_to_mib(machine.usable_gpu_bytes()));
 
-  // 4. Train 5 iterations with real data under the plan.
-  sim::DataBackend ooc_backend(g, /*seed=*/42, /*learning_rate=*/0.05f);
+  // 4. Train 5 iterations with real data under the plan, running the
+  // numeric kernels across 4 threads (the reference run below stays
+  // serial — every kernel is bit-identical at any thread count, so the
+  // comparison still demands exact equality).
+  kernels::KernelContext kctx(/*threads=*/4);
+  sim::DataBackend ooc_backend(g, /*seed=*/42, /*learning_rate=*/0.05f,
+                               &kctx);
   sim::RunOptions ro;
   ro.data = &ooc_backend;
   std::printf("\ntraining under the PoocH classification:\n");
@@ -72,8 +78,8 @@ int main() {
     std::printf("  iter %d: loss %.4f\n", i, ooc_backend.loss());
   }
 
-  // 5. The same 5 iterations in-core on an unconstrained device must
-  // produce bit-identical numbers.
+  // 5. The same 5 iterations in-core on an unconstrained device — and on
+  // a single thread — must produce bit-identical numbers.
   const auto big = cost::test_machine(4096);
   const sim::CostTimeModel big_hw(g, big);
   const sim::Runtime big_rt(g, tape, big, big_hw);

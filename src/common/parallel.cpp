@@ -1,0 +1,38 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+
+namespace pooch {
+
+int parallel_blocks(const ThreadPool* pool, std::int64_t n,
+                    std::int64_t grain) {
+  if (n <= 0) return 0;
+  const std::int64_t g = std::max<std::int64_t>(1, grain);
+  const std::int64_t threads = pool ? pool->size() : 1;
+  const std::int64_t by_grain = (n + g - 1) / g;
+  return static_cast<int>(std::max<std::int64_t>(
+      1, std::min(threads, by_grain)));
+}
+
+void parallel_for(ThreadPool* pool, std::int64_t n, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t, int)>&
+                      fn) {
+  if (n <= 0) return;
+  const int blocks = parallel_blocks(pool, n, grain);
+  if (blocks <= 1 || pool == nullptr) {
+    fn(0, n, 0);
+    return;
+  }
+  // Balanced contiguous ranges: the first `rem` blocks get one extra
+  // index. Ranges depend only on (n, blocks), never on thread timing.
+  const std::int64_t base = n / blocks;
+  const std::int64_t rem = n % blocks;
+  pool->parallel_for(static_cast<std::size_t>(blocks), [&](std::size_t b) {
+    const std::int64_t i = static_cast<std::int64_t>(b);
+    const std::int64_t begin = i * base + std::min(i, rem);
+    const std::int64_t end = begin + base + (i < rem ? 1 : 0);
+    fn(begin, end, static_cast<int>(b));
+  });
+}
+
+}  // namespace pooch

@@ -1,10 +1,45 @@
 #include "kernels/activations.hpp"
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace pooch::kernels {
 
-void relu_forward(const Tensor& x, Tensor& y) {
+namespace {
+// Below this many elements the fan-out overhead dominates the work.
+constexpr std::int64_t kEltwiseGrain = 1 << 14;
+}  // namespace
+
+void relu_forward(const Tensor& x, Tensor& y, KernelContext& ctx) {
+  POOCH_CHECK(y.shape() == x.shape());
+  KernelTimer timer(ctx, "relu_forward");
+  const float* xp = x.data();
+  float* yp = y.data();
+  parallel_for(ctx.pool(), x.numel(), kEltwiseGrain,
+               [&](std::int64_t i0, std::int64_t i1, int) {
+                 for (std::int64_t i = i0; i < i1; ++i) {
+                   yp[i] = xp[i] > 0.0f ? xp[i] : 0.0f;
+                 }
+               });
+}
+
+void relu_backward(const Tensor& y, const Tensor& dy, Tensor& dx,
+                   KernelContext& ctx) {
+  POOCH_CHECK(dy.shape() == y.shape());
+  POOCH_CHECK(dx.shape() == y.shape());
+  KernelTimer timer(ctx, "relu_backward");
+  const float* yp = y.data();
+  const float* dyp = dy.data();
+  float* dxp = dx.data();
+  parallel_for(ctx.pool(), y.numel(), kEltwiseGrain,
+               [&](std::int64_t i0, std::int64_t i1, int) {
+                 for (std::int64_t i = i0; i < i1; ++i) {
+                   dxp[i] = yp[i] > 0.0f ? dyp[i] : 0.0f;
+                 }
+               });
+}
+
+void relu_forward_ref(const Tensor& x, Tensor& y) {
   POOCH_CHECK(y.shape() == x.shape());
   const float* xp = x.data();
   float* yp = y.data();
@@ -12,7 +47,7 @@ void relu_forward(const Tensor& x, Tensor& y) {
   for (std::int64_t i = 0; i < n; ++i) yp[i] = xp[i] > 0.0f ? xp[i] : 0.0f;
 }
 
-void relu_backward(const Tensor& y, const Tensor& dy, Tensor& dx) {
+void relu_backward_ref(const Tensor& y, const Tensor& dy, Tensor& dx) {
   POOCH_CHECK(dy.shape() == y.shape());
   POOCH_CHECK(dx.shape() == y.shape());
   const float* yp = y.data();

@@ -1,15 +1,26 @@
 // Pointwise activations. ReLU's backward uses the layer *output* (dy
 // masked by y > 0), so the planner marks the output — not the input — as
 // the preserved feature map for activation layers.
+//
+// Parallelism partitions the flat element range; every element is
+// produced by exactly one block with no cross-element arithmetic, so the
+// result is bit-identical to the *_ref loops at any thread count.
 #pragma once
 
+#include "kernels/kernel_context.hpp"
 #include "tensor/tensor.hpp"
 
 namespace pooch::kernels {
 
-void relu_forward(const Tensor& x, Tensor& y);
+void relu_forward(const Tensor& x, Tensor& y,
+                  KernelContext& ctx = KernelContext::serial());
 
 /// dx = dy where y > 0 else 0.
-void relu_backward(const Tensor& y, const Tensor& dy, Tensor& dx);
+void relu_backward(const Tensor& y, const Tensor& dy, Tensor& dx,
+                   KernelContext& ctx = KernelContext::serial());
+
+// --- scalar reference oracles (single-threaded) ---
+void relu_forward_ref(const Tensor& x, Tensor& y);
+void relu_backward_ref(const Tensor& y, const Tensor& dy, Tensor& dx);
 
 }  // namespace pooch::kernels

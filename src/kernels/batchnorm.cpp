@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace pooch::kernels {
 
@@ -27,54 +28,151 @@ BnGeom make_geom(const Shape& s) {
   return g;
 }
 
-// mean[c], invstd[c] across (batch, spatial) for each channel.
+// mean[c], invstd[c] across (batch, spatial) for each channel. Channels
+// are independent accumulators, so the channel loop may be partitioned;
+// inside each channel the batch loop stays ascending and each sample
+// contributes one double partial (spatial-ascending) — the exact
+// accumulation sequence of the serial code for every channel.
 void compute_stats(const Tensor& x, const BnGeom& g, float epsilon,
-                   std::vector<double>& mean, std::vector<double>& invstd) {
+                   std::vector<double>& mean, std::vector<double>& invstd,
+                   ThreadPool* pool) {
   mean.assign(static_cast<std::size_t>(g.channels), 0.0);
   invstd.assign(static_cast<std::size_t>(g.channels), 0.0);
   const float* xp = x.data();
-  for (std::int64_t n = 0; n < g.batch; ++n) {
-    for (std::int64_t c = 0; c < g.channels; ++c) {
-      const float* row = xp + (n * g.channels + c) * g.spatial;
-      double acc = 0.0;
-      for (std::int64_t j = 0; j < g.spatial; ++j) acc += row[j];
-      mean[static_cast<std::size_t>(c)] += acc;
-    }
-  }
-  for (std::int64_t c = 0; c < g.channels; ++c) {
-    mean[static_cast<std::size_t>(c)] /= static_cast<double>(g.reduce);
-  }
-  for (std::int64_t n = 0; n < g.batch; ++n) {
-    for (std::int64_t c = 0; c < g.channels; ++c) {
-      const float* row = xp + (n * g.channels + c) * g.spatial;
-      const double m = mean[static_cast<std::size_t>(c)];
-      double acc = 0.0;
-      for (std::int64_t j = 0; j < g.spatial; ++j) {
-        const double d = row[j] - m;
-        acc += d * d;
+  parallel_for(pool, g.channels, 1, [&](std::int64_t c0, std::int64_t c1,
+                                        int) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      for (std::int64_t n = 0; n < g.batch; ++n) {
+        const float* row = xp + (n * g.channels + c) * g.spatial;
+        double acc = 0.0;
+        for (std::int64_t j = 0; j < g.spatial; ++j) acc += row[j];
+        mean[ci] += acc;
       }
-      invstd[static_cast<std::size_t>(c)] += acc;
+      mean[ci] /= static_cast<double>(g.reduce);
+      const double m = mean[ci];
+      for (std::int64_t n = 0; n < g.batch; ++n) {
+        const float* row = xp + (n * g.channels + c) * g.spatial;
+        double acc = 0.0;
+        for (std::int64_t j = 0; j < g.spatial; ++j) {
+          const double d = row[j] - m;
+          acc += d * d;
+        }
+        invstd[ci] += acc;
+      }
+      const double var = invstd[ci] / static_cast<double>(g.reduce);
+      invstd[ci] = 1.0 / std::sqrt(var + static_cast<double>(epsilon));
     }
-  }
-  for (std::int64_t c = 0; c < g.channels; ++c) {
-    const double var =
-        invstd[static_cast<std::size_t>(c)] / static_cast<double>(g.reduce);
-    invstd[static_cast<std::size_t>(c)] =
-        1.0 / std::sqrt(var + static_cast<double>(epsilon));
-  }
+  });
 }
 
 }  // namespace
 
 void batchnorm_forward(const Tensor& x, const Tensor& gamma,
                        const Tensor& beta, Tensor& y,
-                       const BatchNormAttrs& attrs) {
+                       const BatchNormAttrs& attrs, KernelContext& ctx) {
+  const BnGeom g = make_geom(x.shape());
+  POOCH_CHECK(y.shape() == x.shape());
+  POOCH_CHECK(gamma.numel() == g.channels && beta.numel() == g.channels);
+  KernelTimer timer(ctx, "batchnorm_forward");
+
+  std::vector<double> mean, invstd;
+  compute_stats(x, g, attrs.epsilon, mean, invstd, ctx.pool());
+
+  const float* xp = x.data();
+  float* yp = y.data();
+  // Normalize: (sample, channel) planes are independent outputs.
+  parallel_for(ctx.pool(), g.batch * g.channels, 1,
+               [&](std::int64_t p0, std::int64_t p1, int) {
+                 for (std::int64_t p = p0; p < p1; ++p) {
+                   const std::int64_t c = p % g.channels;
+                   const std::size_t ci = static_cast<std::size_t>(c);
+                   const float m = static_cast<float>(mean[ci]);
+                   const float is = static_cast<float>(invstd[ci]);
+                   const float gm = gamma[c];
+                   const float bt = beta[c];
+                   const std::int64_t base = p * g.spatial;
+                   for (std::int64_t j = 0; j < g.spatial; ++j) {
+                     yp[base + j] = gm * (xp[base + j] - m) * is + bt;
+                   }
+                 }
+               });
+}
+
+void batchnorm_backward(const Tensor& x, const Tensor& gamma,
+                        const Tensor& dy, Tensor* dx, Tensor& dgamma,
+                        Tensor& dbeta, const BatchNormAttrs& attrs,
+                        KernelContext& ctx) {
+  const BnGeom g = make_geom(x.shape());
+  POOCH_CHECK(dy.shape() == x.shape());
+  POOCH_CHECK(dgamma.numel() == g.channels && dbeta.numel() == g.channels);
+  if (dx) POOCH_CHECK(dx->shape() == x.shape());
+  KernelTimer timer(ctx, "batchnorm_backward");
+
+  std::vector<double> mean, invstd;
+  compute_stats(x, g, attrs.epsilon, mean, invstd, ctx.pool());
+
+  // Per-channel reductions: sum(dy) and sum(dy * xhat). Same partition
+  // argument as compute_stats.
+  std::vector<double> sum_dy(static_cast<std::size_t>(g.channels), 0.0);
+  std::vector<double> sum_dy_xhat(static_cast<std::size_t>(g.channels), 0.0);
+  const float* xp = x.data();
+  const float* dyp = dy.data();
+  parallel_for(
+      ctx.pool(), g.channels, 1,
+      [&](std::int64_t c0, std::int64_t c1, int) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          const std::size_t ci = static_cast<std::size_t>(c);
+          const double m = mean[ci];
+          const double is = invstd[ci];
+          for (std::int64_t n = 0; n < g.batch; ++n) {
+            const std::int64_t base = (n * g.channels + c) * g.spatial;
+            double a = 0.0, b = 0.0;
+            for (std::int64_t j = 0; j < g.spatial; ++j) {
+              const double d = dyp[base + j];
+              a += d;
+              b += d * (xp[base + j] - m) * is;
+            }
+            sum_dy[ci] += a;
+            sum_dy_xhat[ci] += b;
+          }
+          dgamma[c] = static_cast<float>(sum_dy_xhat[ci]);
+          dbeta[c] = static_cast<float>(sum_dy[ci]);
+        }
+      });
+  if (!dx) return;
+
+  // dx = (gamma * invstd / R) * (R*dy - sum_dy - xhat * sum_dy_xhat)
+  float* dxp = dx->data();
+  const double R = static_cast<double>(g.reduce);
+  parallel_for(ctx.pool(), g.batch * g.channels, 1,
+               [&](std::int64_t p0, std::int64_t p1, int) {
+                 for (std::int64_t p = p0; p < p1; ++p) {
+                   const std::int64_t c = p % g.channels;
+                   const std::size_t ci = static_cast<std::size_t>(c);
+                   const double m = mean[ci];
+                   const double is = invstd[ci];
+                   const double k = static_cast<double>(gamma[c]) * is / R;
+                   const std::int64_t base = p * g.spatial;
+                   for (std::int64_t j = 0; j < g.spatial; ++j) {
+                     const double xhat = (xp[base + j] - m) * is;
+                     dxp[base + j] = static_cast<float>(
+                         k * (R * dyp[base + j] - sum_dy[ci] -
+                              xhat * sum_dy_xhat[ci]));
+                   }
+                 }
+               });
+}
+
+void batchnorm_forward_ref(const Tensor& x, const Tensor& gamma,
+                           const Tensor& beta, Tensor& y,
+                           const BatchNormAttrs& attrs) {
   const BnGeom g = make_geom(x.shape());
   POOCH_CHECK(y.shape() == x.shape());
   POOCH_CHECK(gamma.numel() == g.channels && beta.numel() == g.channels);
 
   std::vector<double> mean, invstd;
-  compute_stats(x, g, attrs.epsilon, mean, invstd);
+  compute_stats(x, g, attrs.epsilon, mean, invstd, nullptr);
 
   const float* xp = x.data();
   float* yp = y.data();
@@ -93,27 +191,26 @@ void batchnorm_forward(const Tensor& x, const Tensor& gamma,
   }
 }
 
-void batchnorm_backward(const Tensor& x, const Tensor& gamma,
-                        const Tensor& dy, Tensor* dx, Tensor& dgamma,
-                        Tensor& dbeta, const BatchNormAttrs& attrs) {
+void batchnorm_backward_ref(const Tensor& x, const Tensor& gamma,
+                            const Tensor& dy, Tensor* dx, Tensor& dgamma,
+                            Tensor& dbeta, const BatchNormAttrs& attrs) {
   const BnGeom g = make_geom(x.shape());
   POOCH_CHECK(dy.shape() == x.shape());
   POOCH_CHECK(dgamma.numel() == g.channels && dbeta.numel() == g.channels);
   if (dx) POOCH_CHECK(dx->shape() == x.shape());
 
   std::vector<double> mean, invstd;
-  compute_stats(x, g, attrs.epsilon, mean, invstd);
+  compute_stats(x, g, attrs.epsilon, mean, invstd, nullptr);
 
-  // Per-channel reductions: sum(dy) and sum(dy * xhat).
   std::vector<double> sum_dy(static_cast<std::size_t>(g.channels), 0.0);
   std::vector<double> sum_dy_xhat(static_cast<std::size_t>(g.channels), 0.0);
   const float* xp = x.data();
   const float* dyp = dy.data();
-  for (std::int64_t n = 0; n < g.batch; ++n) {
-    for (std::int64_t c = 0; c < g.channels; ++c) {
-      const std::size_t ci = static_cast<std::size_t>(c);
-      const double m = mean[ci];
-      const double is = invstd[ci];
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    const std::size_t ci = static_cast<std::size_t>(c);
+    const double m = mean[ci];
+    const double is = invstd[ci];
+    for (std::int64_t n = 0; n < g.batch; ++n) {
       const std::int64_t base = (n * g.channels + c) * g.spatial;
       double a = 0.0, b = 0.0;
       for (std::int64_t j = 0; j < g.spatial; ++j) {
@@ -124,15 +221,11 @@ void batchnorm_backward(const Tensor& x, const Tensor& gamma,
       sum_dy[ci] += a;
       sum_dy_xhat[ci] += b;
     }
-  }
-  for (std::int64_t c = 0; c < g.channels; ++c) {
-    const std::size_t ci = static_cast<std::size_t>(c);
     dgamma[c] = static_cast<float>(sum_dy_xhat[ci]);
     dbeta[c] = static_cast<float>(sum_dy[ci]);
   }
   if (!dx) return;
 
-  // dx = (gamma * invstd / R) * (R*dy - sum_dy - xhat * sum_dy_xhat)
   float* dxp = dx->data();
   const double R = static_cast<double>(g.reduce);
   for (std::int64_t n = 0; n < g.batch; ++n) {

@@ -4,9 +4,16 @@
 // saved input instead of caching them: this keeps the per-layer preserved
 // state to exactly one feature map, the invariant the out-of-core planner
 // relies on (a `recompute`d BN input is sufficient to run its backward).
+//
+// Parallelism: channel statistics are reduced per channel, with the batch
+// loop kept in ascending order inside each channel (the exact double-
+// precision accumulation sequence of the serial code); normalize and dx
+// partition over independent (sample, channel) planes. Output is
+// bit-identical to the *_ref oracles at any thread count.
 #pragma once
 
 #include "kernels/attrs.hpp"
+#include "kernels/kernel_context.hpp"
 #include "tensor/tensor.hpp"
 
 namespace pooch::kernels {
@@ -14,10 +21,20 @@ namespace pooch::kernels {
 /// gamma/beta are rank-1 tensors of length C.
 void batchnorm_forward(const Tensor& x, const Tensor& gamma,
                        const Tensor& beta, Tensor& y,
-                       const BatchNormAttrs& attrs);
+                       const BatchNormAttrs& attrs,
+                       KernelContext& ctx = KernelContext::serial());
 
 void batchnorm_backward(const Tensor& x, const Tensor& gamma,
                         const Tensor& dy, Tensor* dx, Tensor& dgamma,
-                        Tensor& dbeta, const BatchNormAttrs& attrs);
+                        Tensor& dbeta, const BatchNormAttrs& attrs,
+                        KernelContext& ctx = KernelContext::serial());
+
+// --- scalar reference oracles (single-threaded) ---
+void batchnorm_forward_ref(const Tensor& x, const Tensor& gamma,
+                           const Tensor& beta, Tensor& y,
+                           const BatchNormAttrs& attrs);
+void batchnorm_backward_ref(const Tensor& x, const Tensor& gamma,
+                            const Tensor& dy, Tensor* dx, Tensor& dgamma,
+                            Tensor& dbeta, const BatchNormAttrs& attrs);
 
 }  // namespace pooch::kernels

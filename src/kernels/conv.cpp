@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "kernels/im2col.hpp"
 #include "kernels/matmul.hpp"
 
@@ -96,7 +97,150 @@ std::size_t conv_workspace_bytes(const Shape& input_shape,
 }
 
 void conv_forward(const Tensor& x, const Tensor& w, const Tensor* bias,
-                  Tensor& y, const ConvAttrs& attrs) {
+                  Tensor& y, const ConvAttrs& attrs, KernelContext& ctx) {
+  KernelTimer timer(ctx, "conv_forward");
+  const ConvGeom g = make_geom(x.shape(), attrs);
+  POOCH_CHECK(y.shape() == conv_output_shape(x.shape(), attrs));
+  POOCH_CHECK(w.shape() == conv_weight_shape(x.shape(), attrs));
+  POOCH_CHECK(!attrs.has_bias || (bias && bias->numel() == attrs.out_channels));
+
+  const std::int64_t col_rows = g.col.rows();
+  const std::int64_t col_cols = g.col.cols();
+  const std::size_t col_floats = static_cast<std::size_t>(col_rows * col_cols);
+
+  const std::int64_t w_group_stride = g.og * col_rows;
+  const std::int64_t in_group_stride = g.cg * g.in[0] * g.in[1] * g.in[2];
+  const std::int64_t out_group_stride = g.og * col_cols;
+
+  ThreadPool* pool = ctx.pool();
+  const std::int64_t tasks = g.batch * g.groups;
+  if (pool && tasks >= ctx.threads()) {
+    // Enough independent (sample, group) units to occupy every thread:
+    // run them concurrently, each with its own scratch slot. The GEMM is
+    // run serially inside the task (the pool is not reentrant) via
+    // gemm_rows, which is the exact same code path the row-parallel
+    // schedule uses — output is bit-identical either way.
+    const std::size_t gemm_floats = detail::gemm_scratch_floats();
+    parallel_for(pool, tasks, 1,
+                 [&](std::int64_t t0, std::int64_t t1, int slot) {
+                   float* col = ctx.scratch(slot, KernelContext::kColArena,
+                                            col_floats);
+                   float* gemm_scratch = ctx.scratch(
+                       slot, KernelContext::kGemmArena, gemm_floats);
+                   for (std::int64_t t = t0; t < t1; ++t) {
+                     const std::int64_t n = t / g.groups;
+                     const std::int64_t grp = t % g.groups;
+                     const float* xin = x.data() + n * g.in_sample_stride();
+                     float* yout =
+                         y.data() + n * g.out_sample_stride(attrs.out_channels);
+                     im2col(xin + grp * in_group_stride, col, g.col);
+                     detail::GemmShape gs;
+                     gs.a = w.data() + grp * w_group_stride;
+                     gs.b = col;
+                     gs.c = yout + grp * out_group_stride;
+                     gs.m = g.og;
+                     gs.k = col_rows;
+                     gs.n = col_cols;
+                     detail::gemm_rows(gs, 0, g.og, gemm_scratch);
+                     if (attrs.has_bias) {
+                       for (std::int64_t o = grp * g.og; o < (grp + 1) * g.og;
+                            ++o) {
+                         const float b = (*bias)[o];
+                         float* row = yout + o * col_cols;
+                         for (std::int64_t j = 0; j < col_cols; ++j) {
+                           row[j] += b;
+                         }
+                       }
+                     }
+                   }
+                 });
+    return;
+  }
+
+  float* col = ctx.scratch(0, KernelContext::kColArena, col_floats);
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    const float* xin = x.data() + n * g.in_sample_stride();
+    float* yout = y.data() + n * g.out_sample_stride(attrs.out_channels);
+    for (std::int64_t grp = 0; grp < g.groups; ++grp) {
+      im2col(xin + grp * in_group_stride, col, g.col, pool);
+      matmul(w.data() + grp * w_group_stride, col,
+             yout + grp * out_group_stride, g.og, col_rows, col_cols, ctx);
+    }
+    if (attrs.has_bias) {
+      for (std::int64_t o = 0; o < attrs.out_channels; ++o) {
+        const float b = (*bias)[o];
+        float* row = yout + o * col_cols;
+        for (std::int64_t j = 0; j < col_cols; ++j) row[j] += b;
+      }
+    }
+  }
+}
+
+void conv_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                   Tensor* dx, Tensor& dw, Tensor* dbias,
+                   const ConvAttrs& attrs, KernelContext& ctx) {
+  KernelTimer timer(ctx, "conv_backward");
+  const ConvGeom g = make_geom(x.shape(), attrs);
+  POOCH_CHECK(dy.shape() == conv_output_shape(x.shape(), attrs));
+  POOCH_CHECK(dw.shape() == conv_weight_shape(x.shape(), attrs));
+  if (dx) POOCH_CHECK(dx->shape() == x.shape());
+
+  const std::int64_t col_rows = g.col.rows();
+  const std::int64_t col_cols = g.col.cols();
+  const std::size_t col_floats = static_cast<std::size_t>(col_rows * col_cols);
+  // col and (when dx is wanted) col_grad carved from one arena buffer.
+  float* col = ctx.scratch(0, KernelContext::kColArena,
+                           (dx ? 2 : 1) * col_floats);
+  float* col_grad = dx ? col + col_floats : nullptr;
+
+  dw.zero();
+  if (dx) dx->zero();
+  if (attrs.has_bias && dbias) dbias->zero();
+
+  const std::int64_t w_group_stride = g.og * col_rows;
+  const std::int64_t in_group_stride = g.cg * g.in[0] * g.in[1] * g.in[2];
+  const std::int64_t out_group_stride = g.og * col_cols;
+
+  ThreadPool* pool = ctx.pool();
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    const float* xin = x.data() + n * g.in_sample_stride();
+    const float* dyout = dy.data() + n * g.out_sample_stride(attrs.out_channels);
+    for (std::int64_t grp = 0; grp < g.groups; ++grp) {
+      // dW += dY_g (og, cols) * col^T (cols, rows)
+      im2col(xin + grp * in_group_stride, col, g.col, pool);
+      matmul_bt_acc(dyout + grp * out_group_stride, col,
+                    dw.data() + grp * w_group_stride, g.og, col_cols, col_rows,
+                    ctx);
+      if (dx) {
+        // col_grad (rows, cols) = W_g^T (rows, og) * dY_g (og, cols)
+        matmul_at(w.data() + grp * w_group_stride,
+                  dyout + grp * out_group_stride, col_grad, col_rows, g.og,
+                  col_cols, ctx);
+        col2im(col_grad, dx->data() + n * g.in_sample_stride() +
+                             grp * in_group_stride,
+               g.col, pool);
+      }
+    }
+    if (attrs.has_bias && dbias) {
+      // Output channels are independent; within one the batch loop is
+      // the sequential outer loop, so accumulation order matches ref.
+      parallel_for(pool, attrs.out_channels, 4,
+                   [&](std::int64_t o0, std::int64_t o1, int) {
+                     for (std::int64_t o = o0; o < o1; ++o) {
+                       const float* row = dyout + o * col_cols;
+                       float acc = 0.0f;
+                       for (std::int64_t j = 0; j < col_cols; ++j) {
+                         acc += row[j];
+                       }
+                       (*dbias)[o] += acc;
+                     }
+                   });
+    }
+  }
+}
+
+void conv_forward_ref(const Tensor& x, const Tensor& w, const Tensor* bias,
+                      Tensor& y, const ConvAttrs& attrs) {
   const ConvGeom g = make_geom(x.shape(), attrs);
   POOCH_CHECK(y.shape() == conv_output_shape(x.shape(), attrs));
   POOCH_CHECK(w.shape() == conv_weight_shape(x.shape(), attrs));
@@ -115,8 +259,8 @@ void conv_forward(const Tensor& x, const Tensor& w, const Tensor* bias,
     float* yout = y.data() + n * g.out_sample_stride(attrs.out_channels);
     for (std::int64_t grp = 0; grp < g.groups; ++grp) {
       im2col(xin + grp * in_group_stride, col.data(), g.col);
-      matmul(w.data() + grp * w_group_stride, col.data(),
-             yout + grp * out_group_stride, g.og, col_rows, col_cols);
+      matmul_ref(w.data() + grp * w_group_stride, col.data(),
+                 yout + grp * out_group_stride, g.og, col_rows, col_cols);
     }
     if (attrs.has_bias) {
       for (std::int64_t o = 0; o < attrs.out_channels; ++o) {
@@ -128,9 +272,9 @@ void conv_forward(const Tensor& x, const Tensor& w, const Tensor* bias,
   }
 }
 
-void conv_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
-                   Tensor* dx, Tensor& dw, Tensor* dbias,
-                   const ConvAttrs& attrs) {
+void conv_backward_ref(const Tensor& x, const Tensor& w, const Tensor& dy,
+                       Tensor* dx, Tensor& dw, Tensor* dbias,
+                       const ConvAttrs& attrs) {
   const ConvGeom g = make_geom(x.shape(), attrs);
   POOCH_CHECK(dy.shape() == conv_output_shape(x.shape(), attrs));
   POOCH_CHECK(dw.shape() == conv_weight_shape(x.shape(), attrs));
@@ -154,15 +298,14 @@ void conv_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
     const float* xin = x.data() + n * g.in_sample_stride();
     const float* dyout = dy.data() + n * g.out_sample_stride(attrs.out_channels);
     for (std::int64_t grp = 0; grp < g.groups; ++grp) {
-      // dW += dY_g (og, cols) * col^T (cols, rows)
       im2col(xin + grp * in_group_stride, col.data(), g.col);
-      matmul_bt_acc(dyout + grp * out_group_stride, col.data(),
-                    dw.data() + grp * w_group_stride, g.og, col_cols, col_rows);
+      matmul_bt_acc_ref(dyout + grp * out_group_stride, col.data(),
+                        dw.data() + grp * w_group_stride, g.og, col_cols,
+                        col_rows);
       if (dx) {
-        // col_grad (rows, cols) = W_g^T (rows, og) * dY_g (og, cols)
-        matmul_at(w.data() + grp * w_group_stride,
-                  dyout + grp * out_group_stride, col_grad.data(), col_rows,
-                  g.og, col_cols);
+        matmul_at_ref(w.data() + grp * w_group_stride,
+                      dyout + grp * out_group_stride, col_grad.data(), col_rows,
+                      g.og, col_cols);
         col2im(col_grad.data(), dx->data() + n * g.in_sample_stride() +
                                     grp * in_group_stride,
                g.col);

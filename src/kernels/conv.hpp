@@ -8,6 +8,7 @@
 #pragma once
 
 #include "kernels/attrs.hpp"
+#include "kernels/kernel_context.hpp"
 #include "tensor/tensor.hpp"
 
 namespace pooch::kernels {
@@ -23,12 +24,28 @@ Shape conv_weight_shape(const Shape& input_shape, const ConvAttrs& attrs);
 std::size_t conv_workspace_bytes(const Shape& input_shape,
                                  const ConvAttrs& attrs);
 
+/// Forward = im2col + blocked GEMM per (sample, group). With a pooled
+/// context, independent (sample, group) tasks run concurrently when there
+/// are at least as many as threads (each on its own scratch slot);
+/// otherwise the inner im2col/matmul parallelize instead. Both schedules
+/// produce bit-identical output to conv_forward_ref.
 void conv_forward(const Tensor& x, const Tensor& w, const Tensor* bias,
-                  Tensor& y, const ConvAttrs& attrs);
+                  Tensor& y, const ConvAttrs& attrs,
+                  KernelContext& ctx = KernelContext::serial());
 
 /// dx may be null when the input needs no gradient (network input).
+/// Samples are processed in order (dw/dbias accumulate across the batch);
+/// parallelism lives inside the per-sample im2col/matmul/col2im calls.
 void conv_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
                    Tensor* dx, Tensor& dw, Tensor* dbias,
-                   const ConvAttrs& attrs);
+                   const ConvAttrs& attrs,
+                   KernelContext& ctx = KernelContext::serial());
+
+// --- scalar reference oracles (single-threaded, naive matmul) ---
+void conv_forward_ref(const Tensor& x, const Tensor& w, const Tensor* bias,
+                      Tensor& y, const ConvAttrs& attrs);
+void conv_backward_ref(const Tensor& x, const Tensor& w, const Tensor& dy,
+                       Tensor* dx, Tensor& dw, Tensor* dbias,
+                       const ConvAttrs& attrs);
 
 }  // namespace pooch::kernels

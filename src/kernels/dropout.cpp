@@ -1,11 +1,14 @@
 #include "kernels/dropout.hpp"
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 
 namespace pooch::kernels {
 
 namespace {
+
+constexpr std::int64_t kDropoutGrain = 1 << 13;
 
 std::uint64_t mix_key(const DropoutAttrs& attrs, std::uint64_t iteration) {
   return counter_hash(attrs.key ^ 0x9d2c5680cafebabeULL, iteration);
@@ -14,7 +17,48 @@ std::uint64_t mix_key(const DropoutAttrs& attrs, std::uint64_t iteration) {
 }  // namespace
 
 void dropout_forward(const Tensor& x, Tensor& y, const DropoutAttrs& attrs,
-                     std::uint64_t iteration) {
+                     std::uint64_t iteration, KernelContext& ctx) {
+  POOCH_CHECK(y.shape() == x.shape());
+  POOCH_CHECK(attrs.rate >= 0.0f && attrs.rate < 1.0f);
+  KernelTimer timer(ctx, "dropout");
+  const std::uint64_t key = mix_key(attrs, iteration);
+  const float keep = 1.0f - attrs.rate;
+  const float inv_keep = 1.0f / keep;
+  const float* xp = x.data();
+  float* yp = y.data();
+  parallel_for(ctx.pool(), x.numel(), kDropoutGrain,
+               [&](std::int64_t i0, std::int64_t i1, int) {
+                 for (std::int64_t i = i0; i < i1; ++i) {
+                   const bool kept =
+                       counter_uniform(key, static_cast<std::uint64_t>(i)) <
+                       keep;
+                   yp[i] = kept ? xp[i] * inv_keep : 0.0f;
+                 }
+               });
+}
+
+void dropout_backward(const Tensor& dy, Tensor& dx, const DropoutAttrs& attrs,
+                      std::uint64_t iteration, KernelContext& ctx) {
+  POOCH_CHECK(dx.shape() == dy.shape());
+  KernelTimer timer(ctx, "dropout");
+  const std::uint64_t key = mix_key(attrs, iteration);
+  const float keep = 1.0f - attrs.rate;
+  const float inv_keep = 1.0f / keep;
+  const float* dyp = dy.data();
+  float* dxp = dx.data();
+  parallel_for(ctx.pool(), dy.numel(), kDropoutGrain,
+               [&](std::int64_t i0, std::int64_t i1, int) {
+                 for (std::int64_t i = i0; i < i1; ++i) {
+                   const bool kept =
+                       counter_uniform(key, static_cast<std::uint64_t>(i)) <
+                       keep;
+                   dxp[i] = kept ? dyp[i] * inv_keep : 0.0f;
+                 }
+               });
+}
+
+void dropout_forward_ref(const Tensor& x, Tensor& y, const DropoutAttrs& attrs,
+                         std::uint64_t iteration) {
   POOCH_CHECK(y.shape() == x.shape());
   POOCH_CHECK(attrs.rate >= 0.0f && attrs.rate < 1.0f);
   const std::uint64_t key = mix_key(attrs, iteration);
@@ -30,8 +74,8 @@ void dropout_forward(const Tensor& x, Tensor& y, const DropoutAttrs& attrs,
   }
 }
 
-void dropout_backward(const Tensor& dy, Tensor& dx, const DropoutAttrs& attrs,
-                      std::uint64_t iteration) {
+void dropout_backward_ref(const Tensor& dy, Tensor& dx,
+                          const DropoutAttrs& attrs, std::uint64_t iteration) {
   POOCH_CHECK(dx.shape() == dy.shape());
   const std::uint64_t key = mix_key(attrs, iteration);
   const float keep = 1.0f - attrs.rate;

@@ -3,21 +3,32 @@
 // The mask for element i is a pure function of (layer key, iteration, i),
 // so re-running the forward pass during recomputation regenerates the
 // identical mask — no mask tensor is stored, and `recompute` stays exact
-// even through stochastic layers.
+// even through stochastic layers. The same property makes the parallel
+// variant trivially deterministic: blocks partition the flat element
+// range and every element's mask/value is position-keyed.
 #pragma once
 
 #include <cstdint>
 
 #include "kernels/attrs.hpp"
+#include "kernels/kernel_context.hpp"
 #include "tensor/tensor.hpp"
 
 namespace pooch::kernels {
 
 void dropout_forward(const Tensor& x, Tensor& y, const DropoutAttrs& attrs,
-                     std::uint64_t iteration);
+                     std::uint64_t iteration,
+                     KernelContext& ctx = KernelContext::serial());
 
 /// dx = dy masked with the regenerated mask.
 void dropout_backward(const Tensor& dy, Tensor& dx, const DropoutAttrs& attrs,
-                      std::uint64_t iteration);
+                      std::uint64_t iteration,
+                      KernelContext& ctx = KernelContext::serial());
+
+// --- scalar reference oracles (single-threaded) ---
+void dropout_forward_ref(const Tensor& x, Tensor& y, const DropoutAttrs& attrs,
+                         std::uint64_t iteration);
+void dropout_backward_ref(const Tensor& dy, Tensor& dx,
+                          const DropoutAttrs& attrs, std::uint64_t iteration);
 
 }  // namespace pooch::kernels

@@ -1,6 +1,7 @@
 #include "kernels/fc.hpp"
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "kernels/matmul.hpp"
 
 namespace pooch::kernels {
@@ -17,7 +18,68 @@ Shape fc_weight_shape(const Shape& input_shape, const FcAttrs& attrs) {
 }
 
 void fc_forward(const Tensor& x, const Tensor& w, const Tensor* bias,
-                Tensor& y, const FcAttrs& attrs) {
+                Tensor& y, const FcAttrs& attrs, KernelContext& ctx) {
+  const Shape flat = x.shape().flatten2d();
+  const std::int64_t batch = flat[0];
+  const std::int64_t in_f = flat[1];
+  const std::int64_t out_f = attrs.out_features;
+  POOCH_CHECK(y.shape() == fc_output_shape(x.shape(), attrs));
+  POOCH_CHECK(w.shape() == fc_weight_shape(x.shape(), attrs));
+  POOCH_CHECK(!attrs.has_bias || (bias && bias->numel() == out_f));
+  KernelTimer timer(ctx, "fc_forward");
+
+  // y = x (N,In) * W^T (In,Out): overwrite store — no zero + re-read pass.
+  matmul_bt(x.data(), w.data(), y.data(), batch, in_f, out_f, ctx);
+  if (attrs.has_bias) {
+    float* yp = y.data();
+    parallel_for(ctx.pool(), batch, 4,
+                 [&](std::int64_t n0, std::int64_t n1, int) {
+                   for (std::int64_t n = n0; n < n1; ++n) {
+                     for (std::int64_t o = 0; o < out_f; ++o) {
+                       yp[n * out_f + o] += (*bias)[o];
+                     }
+                   }
+                 });
+  }
+}
+
+void fc_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                 Tensor* dx, Tensor& dw, Tensor* dbias, const FcAttrs& attrs,
+                 KernelContext& ctx) {
+  const Shape flat = x.shape().flatten2d();
+  const std::int64_t batch = flat[0];
+  const std::int64_t in_f = flat[1];
+  const std::int64_t out_f = attrs.out_features;
+  POOCH_CHECK(dy.shape() == fc_output_shape(x.shape(), attrs));
+  POOCH_CHECK(dw.shape() == fc_weight_shape(x.shape(), attrs));
+  if (dx) POOCH_CHECK(dx->shape() == x.shape());
+  KernelTimer timer(ctx, "fc_backward");
+
+  // dW (Out,In) = dY^T (Out,N) * X (N,In)
+  matmul_at(dy.data(), x.data(), dw.data(), out_f, batch, in_f, ctx);
+  if (dx) {
+    // dX (N,In) = dY (N,Out) * W (Out,In)
+    matmul(dy.data(), w.data(), dx->data(), batch, out_f, in_f, ctx);
+  }
+  if (attrs.has_bias && dbias) {
+    // Output features are independent accumulators; inside each the
+    // batch loop stays ascending, matching the serial order.
+    const float* dyp = dy.data();
+    parallel_for(ctx.pool(), out_f, 4,
+                 [&](std::int64_t o0, std::int64_t o1, int) {
+                   for (std::int64_t o = o0; o < o1; ++o) {
+                     float acc = 0.0f;
+                     for (std::int64_t n = 0; n < batch; ++n) {
+                       acc += dyp[n * out_f + o];
+                     }
+                     (*dbias)[o] = acc;
+                   }
+                 });
+  }
+}
+
+void fc_forward_ref(const Tensor& x, const Tensor& w, const Tensor* bias,
+                    Tensor& y, const FcAttrs& attrs) {
   const Shape flat = x.shape().flatten2d();
   const std::int64_t batch = flat[0];
   const std::int64_t in_f = flat[1];
@@ -26,9 +88,7 @@ void fc_forward(const Tensor& x, const Tensor& w, const Tensor* bias,
   POOCH_CHECK(w.shape() == fc_weight_shape(x.shape(), attrs));
   POOCH_CHECK(!attrs.has_bias || (bias && bias->numel() == out_f));
 
-  // y = x (N,In) * W^T (In,Out): use matmul_bt via accumulate-into-zero.
-  y.zero();
-  matmul_bt_acc(x.data(), w.data(), y.data(), batch, in_f, out_f);
+  matmul_bt_ref(x.data(), w.data(), y.data(), batch, in_f, out_f);
   if (attrs.has_bias) {
     float* yp = y.data();
     for (std::int64_t n = 0; n < batch; ++n) {
@@ -37,8 +97,9 @@ void fc_forward(const Tensor& x, const Tensor& w, const Tensor* bias,
   }
 }
 
-void fc_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
-                 Tensor* dx, Tensor& dw, Tensor* dbias, const FcAttrs& attrs) {
+void fc_backward_ref(const Tensor& x, const Tensor& w, const Tensor& dy,
+                     Tensor* dx, Tensor& dw, Tensor* dbias,
+                     const FcAttrs& attrs) {
   const Shape flat = x.shape().flatten2d();
   const std::int64_t batch = flat[0];
   const std::int64_t in_f = flat[1];
@@ -47,19 +108,16 @@ void fc_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
   POOCH_CHECK(dw.shape() == fc_weight_shape(x.shape(), attrs));
   if (dx) POOCH_CHECK(dx->shape() == x.shape());
 
-  // dW (Out,In) = dY^T (Out,N) * X (N,In)
-  matmul_at(dy.data(), x.data(), dw.data(), out_f, batch, in_f);
+  matmul_at_ref(dy.data(), x.data(), dw.data(), out_f, batch, in_f);
   if (dx) {
-    // dX (N,In) = dY (N,Out) * W (Out,In)
-    matmul(dy.data(), w.data(), dx->data(), batch, out_f, in_f);
+    matmul_ref(dy.data(), w.data(), dx->data(), batch, out_f, in_f);
   }
   if (attrs.has_bias && dbias) {
-    dbias->zero();
     const float* dyp = dy.data();
-    for (std::int64_t n = 0; n < batch; ++n) {
-      for (std::int64_t o = 0; o < out_f; ++o) {
-        (*dbias)[o] += dyp[n * out_f + o];
-      }
+    for (std::int64_t o = 0; o < out_f; ++o) {
+      float acc = 0.0f;
+      for (std::int64_t n = 0; n < batch; ++n) acc += dyp[n * out_f + o];
+      (*dbias)[o] = acc;
     }
   }
 }

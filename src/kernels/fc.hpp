@@ -1,8 +1,14 @@
 // Fully-connected layer: y(N,Out) = x(N,In) * W^T(In,Out) + b.
 // Inputs of higher rank are treated as flattened to (N, numel/N).
+//
+// Forward/backward ride on the blocked GEMM (matmul_bt / matmul_at /
+// matmul); dbias partitions over output features with the batch loop kept
+// ascending inside each — bit-identical to the *_ref oracles at any
+// thread count.
 #pragma once
 
 #include "kernels/attrs.hpp"
+#include "kernels/kernel_context.hpp"
 #include "tensor/tensor.hpp"
 
 namespace pooch::kernels {
@@ -11,9 +17,18 @@ Shape fc_output_shape(const Shape& input_shape, const FcAttrs& attrs);
 Shape fc_weight_shape(const Shape& input_shape, const FcAttrs& attrs);
 
 void fc_forward(const Tensor& x, const Tensor& w, const Tensor* bias,
-                Tensor& y, const FcAttrs& attrs);
+                Tensor& y, const FcAttrs& attrs,
+                KernelContext& ctx = KernelContext::serial());
 
 void fc_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
-                 Tensor* dx, Tensor& dw, Tensor* dbias, const FcAttrs& attrs);
+                 Tensor* dx, Tensor& dw, Tensor* dbias, const FcAttrs& attrs,
+                 KernelContext& ctx = KernelContext::serial());
+
+// --- scalar reference oracles (single-threaded, naive matmul) ---
+void fc_forward_ref(const Tensor& x, const Tensor& w, const Tensor* bias,
+                    Tensor& y, const FcAttrs& attrs);
+void fc_backward_ref(const Tensor& x, const Tensor& w, const Tensor& dy,
+                     Tensor* dx, Tensor& dw, Tensor* dbias,
+                     const FcAttrs& attrs);
 
 }  // namespace pooch::kernels

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "common/thread_pool.hpp"
 #include "kernels/attrs.hpp"
 
 namespace pooch::kernels {
@@ -33,10 +34,17 @@ constexpr std::int64_t conv_out_extent(std::int64_t in, std::int64_t kernel,
 }
 
 /// Expand `input` (one sample's channel block) into `col` (rows() x cols()).
-void im2col(const float* input, float* col, const ColGeom& g);
+/// With a pool, work is partitioned over column-matrix rows (pure disjoint
+/// writes), so the result is identical at any thread count.
+void im2col(const float* input, float* col, const ColGeom& g,
+            ThreadPool* pool = nullptr);
 
 /// Scatter-add `col` back into `input_grad` (must be zeroed by the caller
-/// if accumulation from a clean slate is wanted).
-void col2im(const float* col, float* input_grad, const ColGeom& g);
+/// if accumulation from a clean slate is wanted). With a pool, work is
+/// partitioned over input channels — each input element is touched by
+/// exactly one block, in the same ascending row/column order as the
+/// serial loop, so accumulation is bit-identical at any thread count.
+void col2im(const float* col, float* input_grad, const ColGeom& g,
+            ThreadPool* pool = nullptr);
 
 }  // namespace pooch::kernels

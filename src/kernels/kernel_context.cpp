@@ -1,0 +1,46 @@
+#include "kernels/kernel_context.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/stats.hpp"
+
+namespace pooch::kernels {
+
+KernelContext::KernelContext(int threads) {
+  const int n = threads == 0 ? ThreadPool::hardware_threads() : threads;
+  if (n > 1) pool_ = std::make_unique<ThreadPool>(n);
+  scratch_.resize(static_cast<std::size_t>(this->threads()) * kArenaCount);
+}
+
+KernelContext::~KernelContext() = default;
+
+float* KernelContext::scratch(int slot, Arena arena, std::size_t floats) {
+  POOCH_CHECK_MSG(slot >= 0 && slot < threads(),
+                  "scratch slot " << slot << " out of range " << threads());
+  auto& buf =
+      scratch_[static_cast<std::size_t>(slot) * kArenaCount +
+               static_cast<std::size_t>(arena)];
+  if (buf.size() < floats) {
+    // Geometric growth so alternating shapes don't reallocate every call.
+    buf.resize(std::max(floats, buf.size() + buf.size() / 2));
+  }
+  return buf.data();
+}
+
+KernelContext& KernelContext::serial() {
+  thread_local KernelContext ctx(1);
+  return ctx;
+}
+
+KernelTimer::~KernelTimer() {
+  if (!stats_) return;
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - t0_)
+                      .count();
+  const std::string base = std::string("kernel.") + name_;
+  stats_->counter(base + ".calls").add(1);
+  stats_->counter(base + ".ns").add(static_cast<std::uint64_t>(ns));
+}
+
+}  // namespace pooch::kernels

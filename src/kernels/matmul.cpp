@@ -1,31 +1,278 @@
 #include "kernels/matmul.hpp"
 
+#include <algorithm>
 #include <cstring>
+
+#include "common/parallel.hpp"
 
 namespace pooch::kernels {
 
+namespace detail {
+
+namespace {
+
+// Blocking parameters. NR is the vector dimension (one or two SIMD
+// registers wide after auto-vectorization); MR x NR accumulators live in
+// registers across the k loop. KC x NC is the packed B panel (~240 KiB,
+// L2-resident); MC x KC is the packed A panel.
+constexpr std::int64_t kMR = 4;
+constexpr std::int64_t kNR = 16;
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kNC = 240;  // multiple of kNR
+constexpr std::int64_t kMC = 64;   // multiple of kMR
+
+// Element accessors for the two storage layouts of each operand.
+inline float a_at(const GemmShape& g, std::int64_t i, std::int64_t p) {
+  return g.a_trans ? g.a[p * g.m + i] : g.a[i * g.k + p];
+}
+inline float b_at(const GemmShape& g, std::int64_t p, std::int64_t j) {
+  return g.b_trans ? g.b[j * g.k + p] : g.b[p * g.n + j];
+}
+
+// Pack B(k0:k0+kc, j0:j0+nc) into NR-wide column panels:
+// bp[jb][p][jr] with zero fill past nc.
+void pack_b(const GemmShape& g, std::int64_t k0, std::int64_t kc,
+            std::int64_t j0, std::int64_t nc, float* bp) {
+  for (std::int64_t jb = 0; jb * kNR < nc; ++jb) {
+    float* panel = bp + jb * kc * kNR;
+    const std::int64_t jw = std::min(kNR, nc - jb * kNR);
+    if (!g.b_trans && jw == kNR) {
+      // Contiguous rows in source: straight vector copies.
+      for (std::int64_t p = 0; p < kc; ++p) {
+        std::memcpy(panel + p * kNR, g.b + (k0 + p) * g.n + j0 + jb * kNR,
+                    kNR * sizeof(float));
+      }
+      continue;
+    }
+    for (std::int64_t p = 0; p < kc; ++p) {
+      float* row = panel + p * kNR;
+      for (std::int64_t jr = 0; jr < jw; ++jr) {
+        row[jr] = b_at(g, k0 + p, j0 + jb * kNR + jr);
+      }
+      for (std::int64_t jr = jw; jr < kNR; ++jr) row[jr] = 0.0f;
+    }
+  }
+}
+
+// Pack A(i0:i0+mc, k0:k0+kc) into MR-tall row panels:
+// ap[ib][p][ir] with zero fill past mc.
+void pack_a(const GemmShape& g, std::int64_t i0, std::int64_t mc,
+            std::int64_t k0, std::int64_t kc, float* ap) {
+  for (std::int64_t ib = 0; ib * kMR < mc; ++ib) {
+    float* panel = ap + ib * kc * kMR;
+    const std::int64_t iw = std::min(kMR, mc - ib * kMR);
+    for (std::int64_t p = 0; p < kc; ++p) {
+      float* col = panel + p * kMR;
+      for (std::int64_t ir = 0; ir < iw; ++ir) {
+        col[ir] = a_at(g, i0 + ib * kMR + ir, k0 + p);
+      }
+      for (std::int64_t ir = iw; ir < kMR; ++ir) col[ir] = 0.0f;
+    }
+  }
+}
+
+// Full MR x NR micro-tile: accumulators in registers, one fused
+// multiply-add per (element, p) in ascending p order — the same
+// per-element operation sequence as the scalar references.
+void micro_full(const float* ap, const float* bp, std::int64_t kc, float* c,
+                std::int64_t ldc, bool zero_init) {
+  float acc[kMR][kNR];
+  if (zero_init) {
+    for (std::int64_t ir = 0; ir < kMR; ++ir) {
+      for (std::int64_t jr = 0; jr < kNR; ++jr) acc[ir][jr] = 0.0f;
+    }
+  } else {
+    for (std::int64_t ir = 0; ir < kMR; ++ir) {
+      for (std::int64_t jr = 0; jr < kNR; ++jr) {
+        acc[ir][jr] = c[ir * ldc + jr];
+      }
+    }
+  }
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* brow = bp + p * kNR;
+    const float* acol = ap + p * kMR;
+    for (std::int64_t ir = 0; ir < kMR; ++ir) {
+      const float av = acol[ir];
+      for (std::int64_t jr = 0; jr < kNR; ++jr) {
+        acc[ir][jr] += av * brow[jr];
+      }
+    }
+  }
+  for (std::int64_t ir = 0; ir < kMR; ++ir) {
+    for (std::int64_t jr = 0; jr < kNR; ++jr) c[ir * ldc + jr] = acc[ir][jr];
+  }
+}
+
+// Edge micro-tile (mr < MR and/or nr < NR): identical arithmetic on the
+// zero-padded panels; only the valid lanes touch C.
+void micro_edge(const float* ap, const float* bp, std::int64_t kc, float* c,
+                std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+                bool zero_init) {
+  float acc[kMR][kNR];
+  for (std::int64_t ir = 0; ir < kMR; ++ir) {
+    for (std::int64_t jr = 0; jr < kNR; ++jr) {
+      acc[ir][jr] = (!zero_init && ir < mr && jr < nr) ? c[ir * ldc + jr]
+                                                       : 0.0f;
+    }
+  }
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* brow = bp + p * kNR;
+    const float* acol = ap + p * kMR;
+    for (std::int64_t ir = 0; ir < kMR; ++ir) {
+      const float av = acol[ir];
+      for (std::int64_t jr = 0; jr < kNR; ++jr) {
+        acc[ir][jr] += av * brow[jr];
+      }
+    }
+  }
+  for (std::int64_t ir = 0; ir < mr; ++ir) {
+    for (std::int64_t jr = 0; jr < nr; ++jr) c[ir * ldc + jr] = acc[ir][jr];
+  }
+}
+
+}  // namespace
+
+std::size_t gemm_scratch_floats() {
+  return static_cast<std::size_t>(kKC * kNC + kMC * kKC);
+}
+
+void gemm_rows(const GemmShape& g, std::int64_t r0, std::int64_t r1,
+               float* scratch) {
+  if (r0 >= r1 || g.n <= 0) return;
+  float* bp = scratch;               // kKC * kNC
+  float* ap = scratch + kKC * kNC;   // kMC * kKC
+  const std::int64_t ldc = g.n;
+  for (std::int64_t jc = 0; jc < g.n; jc += kNC) {
+    const std::int64_t nc = std::min(kNC, g.n - jc);
+    for (std::int64_t pc = 0; pc < g.k; pc += kKC) {
+      const std::int64_t kc = std::min(kKC, g.k - pc);
+      pack_b(g, pc, kc, jc, nc, bp);
+      // beta=0 store path: the first k panel writes C outright instead
+      // of memset-then-accumulate; later panels reload and continue the
+      // ascending-k accumulation.
+      const bool zero_init = g.overwrite && pc == 0;
+      for (std::int64_t ic = r0; ic < r1; ic += kMC) {
+        const std::int64_t mc = std::min(kMC, r1 - ic);
+        pack_a(g, ic, mc, pc, kc, ap);
+        for (std::int64_t jb = 0; jb * kNR < nc; ++jb) {
+          const std::int64_t nr = std::min(kNR, nc - jb * kNR);
+          for (std::int64_t ib = 0; ib * kMR < mc; ++ib) {
+            const std::int64_t mr = std::min(kMR, mc - ib * kMR);
+            float* ctile = g.c + (ic + ib * kMR) * ldc + jc + jb * kNR;
+            if (mr == kMR && nr == kNR) {
+              micro_full(ap + ib * kc * kMR, bp + jb * kc * kNR, kc, ctile,
+                         ldc, zero_init);
+            } else {
+              micro_edge(ap + ib * kc * kMR, bp + jb * kc * kNR, kc, ctile,
+                         ldc, mr, nr, zero_init);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+// Fan the row dimension out over the context's pool. Each block packs its
+// own panels (redundant B packing is a few percent of the FLOPs for the
+// shapes that matter); rows are independent outputs, so any partition
+// yields bit-identical C.
+void gemm(const GemmShape& g, KernelContext& ctx) {
+  if (g.m <= 0 || g.n <= 0) return;
+  if (g.k <= 0) {
+    if (g.overwrite) {
+      for (std::int64_t i = 0; i < g.m; ++i) {
+        std::memset(g.c + i * g.n, 0,
+                    static_cast<std::size_t>(g.n) * sizeof(float));
+      }
+    }
+    return;
+  }
+  const std::size_t scratch_floats = gemm_scratch_floats();
+  // Parallelism only pays above a few million FLOPs; tiny GEMMs (the
+  // classifier-head shapes) stay inline.
+  const bool fan_out =
+      ctx.pool() != nullptr &&
+      2.0 * static_cast<double>(g.m) * static_cast<double>(g.k) *
+              static_cast<double>(g.n) >=
+          2.0e6;
+  if (!fan_out) {
+    gemm_rows(g, 0, g.m,
+              ctx.scratch(0, KernelContext::kGemmArena, scratch_floats));
+    return;
+  }
+  parallel_for(ctx.pool(), g.m, kMR,
+               [&](std::int64_t r0, std::int64_t r1, int slot) {
+                 gemm_rows(g, r0, r1,
+                           ctx.scratch(slot, KernelContext::kGemmArena,
+                                       scratch_floats));
+               });
+}
+
+}  // namespace
+
+}  // namespace detail
+
 void matmul(const float* a, const float* b, float* c, std::int64_t m,
-            std::int64_t k, std::int64_t n) {
-  std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
-  matmul_acc(a, b, c, m, k, n);
+            std::int64_t k, std::int64_t n, KernelContext& ctx) {
+  KernelTimer t(ctx, "matmul");
+  detail::gemm({a, b, c, m, k, n, false, false, true}, ctx);
 }
 
 void matmul_acc(const float* a, const float* b, float* c, std::int64_t m,
+                std::int64_t k, std::int64_t n, KernelContext& ctx) {
+  KernelTimer t(ctx, "matmul_acc");
+  detail::gemm({a, b, c, m, k, n, false, false, false}, ctx);
+}
+
+void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, KernelContext& ctx) {
+  KernelTimer t(ctx, "matmul_at");
+  detail::gemm({a, b, c, m, k, n, true, false, true}, ctx);
+}
+
+void matmul_bt(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, KernelContext& ctx) {
+  KernelTimer t(ctx, "matmul_bt");
+  detail::gemm({a, b, c, m, k, n, false, true, true}, ctx);
+}
+
+void matmul_bt_acc(const float* a, const float* b, float* c, std::int64_t m,
+                   std::int64_t k, std::int64_t n, KernelContext& ctx) {
+  KernelTimer t(ctx, "matmul_bt_acc");
+  detail::gemm({a, b, c, m, k, n, false, true, false}, ctx);
+}
+
+// --- scalar references -----------------------------------------------
+//
+// Canonical accumulation order for every variant: each C element starts
+// from its beta value (0 or the prior C) and adds one a*b product per k
+// index, in ascending k. The blocked kernels above replicate exactly
+// this per-element sequence.
+
+void matmul_ref(const float* a, const float* b, float* c, std::int64_t m,
                 std::int64_t k, std::int64_t n) {
+  std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  matmul_acc_ref(a, b, c, m, k, n);
+}
+
+void matmul_acc_ref(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n) {
   for (std::int64_t i = 0; i < m; ++i) {
     const float* arow = a + i * k;
     float* crow = c + i * n;
     for (std::int64_t p = 0; p < k; ++p) {
       const float av = arow[p];
-      if (av == 0.0f) continue;
       const float* brow = b + p * n;
       for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
 }
 
-void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
-               std::int64_t k, std::int64_t n) {
+void matmul_at_ref(const float* a, const float* b, float* c, std::int64_t m,
+                   std::int64_t k, std::int64_t n) {
   std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
   // A stored as (k, m): element A^T(i,p) = a[p*m + i].
   for (std::int64_t p = 0; p < k; ++p) {
@@ -33,14 +280,13 @@ void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
     const float* brow = b + p * n;
     for (std::int64_t i = 0; i < m; ++i) {
       const float av = arow[i];
-      if (av == 0.0f) continue;
       float* crow = c + i * n;
       for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
 }
 
-void matmul_bt_acc(const float* a, const float* b, float* c, std::int64_t m,
+void matmul_bt_ref(const float* a, const float* b, float* c, std::int64_t m,
                    std::int64_t k, std::int64_t n) {
   // B stored as (n, k): element B^T(p,j) = b[j*k + p].
   for (std::int64_t i = 0; i < m; ++i) {
@@ -50,7 +296,21 @@ void matmul_bt_acc(const float* a, const float* b, float* c, std::int64_t m,
       const float* bcol = b + j * k;
       float acc = 0.0f;
       for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * bcol[p];
-      crow[j] += acc;
+      crow[j] = acc;
+    }
+  }
+}
+
+void matmul_bt_acc_ref(const float* a, const float* b, float* c,
+                       std::int64_t m, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* bcol = b + j * k;
+      float acc = crow[j];
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * bcol[p];
+      crow[j] = acc;
     }
   }
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace pooch::kernels {
 
@@ -17,11 +18,82 @@ void check_args(const Tensor& logits, const std::vector<std::int64_t>& labels) {
   }
 }
 
+// -log p(label) for one sample; the per-sample math of both passes.
+double row_neg_logp(const float* row, std::int64_t classes,
+                    std::int64_t label) {
+  const float mx = *std::max_element(row, row + classes);
+  double denom = 0.0;
+  for (std::int64_t c = 0; c < classes; ++c) {
+    denom += std::exp(static_cast<double>(row[c] - mx));
+  }
+  return -(static_cast<double>(row[label] - mx) - std::log(denom));
+}
+
 }  // namespace
 
 void softmax_xent_forward(const Tensor& logits,
                           const std::vector<std::int64_t>& labels,
-                          Tensor& loss) {
+                          Tensor& loss, KernelContext& ctx) {
+  check_args(logits, labels);
+  POOCH_CHECK(loss.numel() == 1);
+  KernelTimer timer(ctx, "softmax_xent");
+  const std::int64_t batch = logits.shape()[0];
+  const std::int64_t classes = logits.shape()[1];
+  const float* xp = logits.data();
+  // Per-sample values are independent; the final mean is reduced in
+  // sample order on the calling thread so the loss is bit-identical to
+  // the serial reference at any thread count.
+  std::vector<double> neg_logp(static_cast<std::size_t>(batch));
+  parallel_for(ctx.pool(), batch, 4,
+               [&](std::int64_t n0, std::int64_t n1, int) {
+                 for (std::int64_t n = n0; n < n1; ++n) {
+                   neg_logp[static_cast<std::size_t>(n)] = row_neg_logp(
+                       xp + n * classes, classes,
+                       labels[static_cast<std::size_t>(n)]);
+                 }
+               });
+  double acc = 0.0;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    acc += neg_logp[static_cast<std::size_t>(n)];
+  }
+  loss[0] = static_cast<float>(acc / static_cast<double>(batch));
+}
+
+void softmax_xent_backward(const Tensor& logits,
+                           const std::vector<std::int64_t>& labels,
+                           const Tensor& dloss, Tensor& dlogits,
+                           KernelContext& ctx) {
+  check_args(logits, labels);
+  POOCH_CHECK(dloss.numel() == 1);
+  POOCH_CHECK(dlogits.shape() == logits.shape());
+  KernelTimer timer(ctx, "softmax_xent");
+  const std::int64_t batch = logits.shape()[0];
+  const std::int64_t classes = logits.shape()[1];
+  const float* xp = logits.data();
+  float* gp = dlogits.data();
+  const float gscale = dloss[0] / static_cast<float>(batch);
+  parallel_for(
+      ctx.pool(), batch, 4, [&](std::int64_t n0, std::int64_t n1, int) {
+        for (std::int64_t n = n0; n < n1; ++n) {
+          const float* row = xp + n * classes;
+          float* grow = gp + n * classes;
+          const float mx = *std::max_element(row, row + classes);
+          double denom = 0.0;
+          for (std::int64_t c = 0; c < classes; ++c) {
+            denom += std::exp(static_cast<double>(row[c] - mx));
+          }
+          for (std::int64_t c = 0; c < classes; ++c) {
+            const double p = std::exp(static_cast<double>(row[c] - mx)) / denom;
+            grow[c] = static_cast<float>(p) * gscale;
+          }
+          grow[labels[static_cast<std::size_t>(n)]] -= gscale;
+        }
+      });
+}
+
+void softmax_xent_forward_ref(const Tensor& logits,
+                              const std::vector<std::int64_t>& labels,
+                              Tensor& loss) {
   check_args(logits, labels);
   POOCH_CHECK(loss.numel() == 1);
   const std::int64_t batch = logits.shape()[0];
@@ -29,23 +101,15 @@ void softmax_xent_forward(const Tensor& logits,
   const float* xp = logits.data();
   double acc = 0.0;
   for (std::int64_t n = 0; n < batch; ++n) {
-    const float* row = xp + n * classes;
-    const float mx = *std::max_element(row, row + classes);
-    double denom = 0.0;
-    for (std::int64_t c = 0; c < classes; ++c) {
-      denom += std::exp(static_cast<double>(row[c] - mx));
-    }
-    const double logp =
-        static_cast<double>(row[labels[static_cast<std::size_t>(n)]] - mx) -
-        std::log(denom);
-    acc -= logp;
+    acc += row_neg_logp(xp + n * classes, classes,
+                        labels[static_cast<std::size_t>(n)]);
   }
   loss[0] = static_cast<float>(acc / static_cast<double>(batch));
 }
 
-void softmax_xent_backward(const Tensor& logits,
-                           const std::vector<std::int64_t>& labels,
-                           const Tensor& dloss, Tensor& dlogits) {
+void softmax_xent_backward_ref(const Tensor& logits,
+                               const std::vector<std::int64_t>& labels,
+                               const Tensor& dloss, Tensor& dlogits) {
   check_args(logits, labels);
   POOCH_CHECK(dloss.numel() == 1);
   POOCH_CHECK(dlogits.shape() == logits.shape());

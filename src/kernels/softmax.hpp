@@ -5,11 +5,17 @@
 // — as with batchnorm — the only preserved feature map is the layer input.
 // Labels are supplied out of band by the executing runtime (they live on
 // the host and never participate in the out-of-core planning).
+//
+// Parallelism: forward computes each sample's log-probability into a
+// per-sample slot concurrently, then reduces the loss in index order on
+// the calling thread; backward partitions over rows. Both are
+// bit-identical to the *_ref oracles at any thread count.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "kernels/kernel_context.hpp"
 #include "tensor/tensor.hpp"
 
 namespace pooch::kernels {
@@ -17,11 +23,21 @@ namespace pooch::kernels {
 /// loss = mean over batch of -log softmax(x)[label].
 void softmax_xent_forward(const Tensor& logits,
                           const std::vector<std::int64_t>& labels,
-                          Tensor& loss);
+                          Tensor& loss,
+                          KernelContext& ctx = KernelContext::serial());
 
 /// dlogits = (softmax(x) - onehot(label)) * dloss / N.
 void softmax_xent_backward(const Tensor& logits,
                            const std::vector<std::int64_t>& labels,
-                           const Tensor& dloss, Tensor& dlogits);
+                           const Tensor& dloss, Tensor& dlogits,
+                           KernelContext& ctx = KernelContext::serial());
+
+// --- scalar reference oracles (single-threaded) ---
+void softmax_xent_forward_ref(const Tensor& logits,
+                              const std::vector<std::int64_t>& labels,
+                              Tensor& loss);
+void softmax_xent_backward_ref(const Tensor& logits,
+                               const std::vector<std::int64_t>& labels,
+                               const Tensor& dloss, Tensor& dlogits);
 
 }  // namespace pooch::kernels

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "kernels/activations.hpp"
 #include "kernels/batchnorm.hpp"
@@ -24,8 +25,9 @@ using graph::Node;
 using graph::NodeId;
 using graph::ValueId;
 
-DataBackend::DataBackend(const Graph& graph, std::uint64_t seed, float lr)
-    : graph_(graph), lr_(lr) {
+DataBackend::DataBackend(const Graph& graph, std::uint64_t seed, float lr,
+                         kernels::KernelContext* ctx)
+    : graph_(graph), lr_(lr), ctx_(ctx) {
   const std::size_t nv = static_cast<std::size_t>(graph.num_values());
   values_.resize(nv);
   host_.resize(nv);
@@ -76,6 +78,10 @@ DataBackend::DataBackend(const Graph& graph, std::uint64_t seed, float lr)
   }
 }
 
+kernels::KernelContext& DataBackend::kctx() const {
+  return ctx_ ? *ctx_ : kernels::KernelContext::serial();
+}
+
 void DataBackend::begin_iteration() {
   const auto& ins = graph_.inputs();
   for (std::size_t i = 0; i < ins.size(); ++i) {
@@ -121,50 +127,52 @@ void DataBackend::forward(NodeId id, std::uint64_t iteration) {
   switch (n.kind) {
     case LayerKind::kConv: {
       const auto& a = std::get<ConvAttrs>(n.attrs);
-      kernels::conv_forward(x, ps[0], a.has_bias ? &ps[1] : nullptr, y, a);
+      kernels::conv_forward(x, ps[0], a.has_bias ? &ps[1] : nullptr, y, a,
+                            kctx());
       break;
     }
     case LayerKind::kMaxPool:
     case LayerKind::kAvgPool:
-      kernels::pool_forward(x, y, std::get<PoolAttrs>(n.attrs));
+      kernels::pool_forward(x, y, std::get<PoolAttrs>(n.attrs), kctx());
       break;
     case LayerKind::kGlobalAvgPool:
-      kernels::global_avg_pool_forward(x, y);
+      kernels::global_avg_pool_forward(x, y, kctx());
       break;
     case LayerKind::kBatchNorm:
       kernels::batchnorm_forward(x, ps[0], ps[1], y,
-                                 std::get<BatchNormAttrs>(n.attrs));
+                                 std::get<BatchNormAttrs>(n.attrs), kctx());
       break;
     case LayerKind::kReLU:
-      kernels::relu_forward(x, y);
+      kernels::relu_forward(x, y, kctx());
       break;
     case LayerKind::kFullyConnected: {
       const auto& a = std::get<FcAttrs>(n.attrs);
-      kernels::fc_forward(x, ps[0], a.has_bias ? &ps[1] : nullptr, y, a);
+      kernels::fc_forward(x, ps[0], a.has_bias ? &ps[1] : nullptr, y, a,
+                          kctx());
       break;
     }
     case LayerKind::kSoftmaxLoss:
-      kernels::softmax_xent_forward(x, labels_, y);
+      kernels::softmax_xent_forward(x, labels_, y, kctx());
       last_loss_ = y[0];
       break;
     case LayerKind::kAdd:
       kernels::add_forward(x, values_[static_cast<std::size_t>(n.inputs[1])],
-                           y);
+                           y, kctx());
       break;
     case LayerKind::kConcat: {
       std::vector<const Tensor*> ins;
       for (ValueId in : n.inputs) {
         ins.push_back(&values_[static_cast<std::size_t>(in)]);
       }
-      kernels::concat_forward(ins, y);
+      kernels::concat_forward(ins, y, kctx());
       break;
     }
     case LayerKind::kFlatten:
-      kernels::flatten_forward(x, y);
+      kernels::flatten_forward(x, y, kctx());
       break;
     case LayerKind::kDropout:
       kernels::dropout_forward(x, y, std::get<DropoutAttrs>(n.attrs),
-                               iteration);
+                               iteration, kctx());
       break;
   }
 }
@@ -192,7 +200,7 @@ void DataBackend::backward(NodeId id, std::uint64_t iteration) {
       if (want_dx) dx = Tensor(x_shape);
       kernels::conv_backward(stored(x_id), ps[0], dy,
                              want_dx ? &dx : nullptr, gs[0],
-                             a.has_bias ? &gs[1] : nullptr, a);
+                             a.has_bias ? &gs[1] : nullptr, a, kctx());
       if (want_dx) accumulate_grad(x_id, std::move(dx));
       break;
     }
@@ -201,19 +209,19 @@ void DataBackend::backward(NodeId id, std::uint64_t iteration) {
       const auto& a = std::get<PoolAttrs>(n.attrs);
       Tensor dx(x_shape);
       if (a.mode == PoolMode::kMax) {
-        kernels::pool_backward(stored(x_id), dy, dx, a);
+        kernels::pool_backward(stored(x_id), dy, dx, a, kctx());
       } else {
         // Average pooling backward needs only shapes; synthesize a zero
         // input of the right shape for the kernel's geometry checks.
         Tensor zero_x(x_shape);
-        kernels::pool_backward(zero_x, dy, dx, a);
+        kernels::pool_backward(zero_x, dy, dx, a, kctx());
       }
       if (want_dx) accumulate_grad(x_id, std::move(dx));
       break;
     }
     case LayerKind::kGlobalAvgPool: {
       Tensor dx(x_shape);
-      kernels::global_avg_pool_backward(x_shape, dy, dx);
+      kernels::global_avg_pool_backward(x_shape, dy, dx, kctx());
       if (want_dx) accumulate_grad(x_id, std::move(dx));
       break;
     }
@@ -222,13 +230,13 @@ void DataBackend::backward(NodeId id, std::uint64_t iteration) {
       if (want_dx) dx = Tensor(x_shape);
       kernels::batchnorm_backward(stored(x_id), ps[0], dy,
                                   want_dx ? &dx : nullptr, gs[0], gs[1],
-                                  std::get<BatchNormAttrs>(n.attrs));
+                                  std::get<BatchNormAttrs>(n.attrs), kctx());
       if (want_dx) accumulate_grad(x_id, std::move(dx));
       break;
     }
     case LayerKind::kReLU: {
       Tensor dx(x_shape);
-      kernels::relu_backward(stored(n.output), dy, dx);
+      kernels::relu_backward(stored(n.output), dy, dx, kctx());
       if (want_dx) accumulate_grad(x_id, std::move(dx));
       break;
     }
@@ -237,13 +245,13 @@ void DataBackend::backward(NodeId id, std::uint64_t iteration) {
       Tensor dx;
       if (want_dx) dx = Tensor(x_shape);
       kernels::fc_backward(stored(x_id), ps[0], dy, want_dx ? &dx : nullptr,
-                           gs[0], a.has_bias ? &gs[1] : nullptr, a);
+                           gs[0], a.has_bias ? &gs[1] : nullptr, a, kctx());
       if (want_dx) accumulate_grad(x_id, std::move(dx));
       break;
     }
     case LayerKind::kSoftmaxLoss: {
       Tensor dx(x_shape);
-      kernels::softmax_xent_backward(stored(x_id), labels_, dy, dx);
+      kernels::softmax_xent_backward(stored(x_id), labels_, dy, dx, kctx());
       if (want_dx) accumulate_grad(x_id, std::move(dx));
       break;
     }
@@ -265,7 +273,7 @@ void DataBackend::backward(NodeId id, std::uint64_t iteration) {
         parts.emplace_back(graph_.value(in).shape);
         ptrs.push_back(&parts.back());
       }
-      kernels::concat_backward(dy, ptrs);
+      kernels::concat_backward(dy, ptrs, kctx());
       for (std::size_t i = 0; i < n.inputs.size(); ++i) {
         if (graph_.value(n.inputs[i]).producer == graph::kNoNode) continue;
         accumulate_grad(n.inputs[i], std::move(parts[i]));
@@ -274,14 +282,14 @@ void DataBackend::backward(NodeId id, std::uint64_t iteration) {
     }
     case LayerKind::kFlatten: {
       Tensor dx(x_shape);
-      kernels::flatten_backward(x_shape, dy, dx);
+      kernels::flatten_backward(x_shape, dy, dx, kctx());
       if (want_dx) accumulate_grad(x_id, std::move(dx));
       break;
     }
     case LayerKind::kDropout: {
       Tensor dx(x_shape);
       kernels::dropout_backward(dy, dx, std::get<DropoutAttrs>(n.attrs),
-                                iteration);
+                                iteration, kctx());
       if (want_dx) accumulate_grad(x_id, std::move(dx));
       break;
     }
@@ -290,16 +298,23 @@ void DataBackend::backward(NodeId id, std::uint64_t iteration) {
 }
 
 void DataBackend::swap_out(ValueId v) {
-  Tensor& t = values_[static_cast<std::size_t>(v)];
   POOCH_CHECK_MSG(value_resident(v), "swap_out of non-resident v" << v);
-  host_[static_cast<std::size_t>(v)] = t;  // deep copy to host
+  // Move the buffer host-side instead of deep-copying: the runtime frees
+  // the device copy right after a swap-out anyway, and moving keeps peak
+  // footprint at one copy of the tensor instead of two.
+  host_[static_cast<std::size_t>(v)] =
+      std::move(values_[static_cast<std::size_t>(v)]);
+  values_[static_cast<std::size_t>(v)] = Tensor();
 }
 
 void DataBackend::swap_in(ValueId v) {
   Tensor& h = host_[static_cast<std::size_t>(v)];
-  POOCH_CHECK_MSG(!h.empty() || h.numel() == 0,
+  POOCH_CHECK_MSG(h.numel() > 0 && h.materialized(),
                   "swap_in without host copy for v" << v);
-  values_[static_cast<std::size_t>(v)] = h;  // copy back to device
+  // Copy, not move: the runtime treats a swapped-in value as a clean
+  // page whose host copy stays valid — rescue eviction drops the device
+  // buffer without re-writing host and re-fetches later.
+  values_[static_cast<std::size_t>(v)] = h;
 }
 
 void DataBackend::free_value(ValueId v) {
@@ -311,14 +326,20 @@ void DataBackend::free_grad(ValueId v) {
 }
 
 void DataBackend::update() {
+  // Plain SGD. Elements are independent, so the flat per-tensor range can
+  // be partitioned freely — results match the serial loop bit-for-bit.
   for (const Node& n : graph_.nodes()) {
     auto& ps = params_[static_cast<std::size_t>(n.id)];
     auto& gs = param_grads_[static_cast<std::size_t>(n.id)];
     for (std::size_t i = 0; i < ps.size(); ++i) {
       float* p = ps[i].data();
       const float* g = gs[i].data();
-      const std::int64_t count = ps[i].numel();
-      for (std::int64_t j = 0; j < count; ++j) p[j] -= lr_ * g[j];
+      parallel_for(kctx().pool(), ps[i].numel(), 1 << 14,
+                   [&](std::int64_t j0, std::int64_t j1, int) {
+                     for (std::int64_t j = j0; j < j1; ++j) {
+                       p[j] -= lr_ * g[j];
+                     }
+                   });
     }
   }
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "kernels/kernel_context.hpp"
 #include "tensor/tensor.hpp"
 
 namespace pooch::sim {
@@ -22,8 +23,14 @@ namespace pooch::sim {
 class DataBackend {
  public:
   /// Initialises parameters, synthetic inputs and labels from `seed`.
+  /// `ctx` (not owned, must outlive the backend) selects the kernel
+  /// execution context: null runs every kernel serially; a pooled context
+  /// runs them multithreaded. Because every kernel is bit-identical
+  /// across thread counts, the backend's losses/gradients/parameters do
+  /// not depend on which context is attached.
   DataBackend(const graph::Graph& graph, std::uint64_t seed,
-              float learning_rate = 0.01f);
+              float learning_rate = 0.01f,
+              kernels::KernelContext* ctx = nullptr);
 
   // --- ops invoked by the runtime in program order ---
   /// Re-installs the input batch (mirrors the per-iteration H2D upload of
@@ -31,8 +38,9 @@ class DataBackend {
   void begin_iteration();
   void forward(graph::NodeId node, std::uint64_t iteration);
   void backward(graph::NodeId node, std::uint64_t iteration);
-  void swap_out(graph::ValueId value);  // device -> host copy
-  void swap_in(graph::ValueId value);   // host -> device copy
+  void swap_out(graph::ValueId value);  // device -> host (buffer moves)
+  void swap_in(graph::ValueId value);   // host -> device (copies; the
+                                        // host copy stays a clean page)
   void free_value(graph::ValueId value);
   void free_grad(graph::ValueId value);
   void update();
@@ -52,9 +60,11 @@ class DataBackend {
   Tensor& ensure_value(graph::ValueId v);
   Tensor& ensure_grad(graph::ValueId v);
   void accumulate_grad(graph::ValueId v, Tensor contribution);
+  kernels::KernelContext& kctx() const;
 
   const graph::Graph& graph_;
   float lr_;
+  kernels::KernelContext* ctx_ = nullptr;  // not owned; null = serial
   std::vector<Tensor> input_batch_;  // pristine per-iteration inputs
   std::vector<Tensor> values_;       // device feature maps
   std::vector<Tensor> host_;         // swapped-out host copies

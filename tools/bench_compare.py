@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_kernels.json files and fail on throughput regression.
+
+Usage:
+    tools/bench_compare.py baseline.json candidate.json [--tolerance 0.10]
+
+Rows are matched on (kernel, shape, threads). A row regresses when its
+candidate gflops falls more than `tolerance` (default 10%) below the
+baseline. Rows present on only one side are reported but do not fail the
+comparison (the corpus may legitimately grow). Exit status: 0 when no row
+regresses, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc["rows"] if isinstance(doc, dict) else doc
+    return {(r["kernel"], r["shape"], r["threads"]): r for r in rows}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional gflops drop (default 0.10)")
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cand = load_rows(args.candidate)
+
+    regressions = []
+    print(f"{'kernel':<14} {'shape':<22} {'thr':>3} "
+          f"{'base':>8} {'cand':>8} {'delta':>8}")
+    for key in sorted(base):
+        if key not in cand:
+            print(f"{key[0]:<14} {key[1]:<22} {key[2]:>3} "
+                  f"{base[key]['gflops']:>8.2f} {'missing':>8}")
+            continue
+        b = base[key]["gflops"]
+        c = cand[key]["gflops"]
+        delta = (c - b) / b if b > 0 else 0.0
+        flag = ""
+        if delta < -args.tolerance:
+            regressions.append((key, b, c, delta))
+            flag = "  REGRESSION"
+        print(f"{key[0]:<14} {key[1]:<22} {key[2]:>3} "
+              f"{b:>8.2f} {c:>8.2f} {delta:>+7.1%}{flag}")
+    for key in sorted(set(cand) - set(base)):
+        print(f"{key[0]:<14} {key[1]:<22} {key[2]:>3} "
+              f"{'new':>8} {cand[key]['gflops']:>8.2f}")
+
+    if regressions:
+        print(f"\n{len(regressions)} row(s) regressed more than "
+              f"{args.tolerance:.0%}", file=sys.stderr)
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,8 @@ set -u
 
 cd "$(dirname "$0")/.."
 
-DOCS=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/ALGORITHMS.md)
+DOCS=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/ALGORITHMS.md
+      docs/KERNELS.md)
 fail=0
 
 # Build-target names. Direct add_executable/add_test declarations, plus
@@ -19,8 +20,8 @@ targets=$(
   { grep -rhoE 'add_(executable|library|test)\(\s*(NAME\s+)?[A-Za-z0-9_]+' \
       --include=CMakeLists.txt . \
     | sed -E 's/.*\(\s*(NAME\s+)?//'
-    find bench examples tools tests -name '*.cpp' \
-    | sed -E 's|.*/||; s|\.cpp$||'
+    find bench examples tools tests -name '*.cpp' -o -name '*.py' \
+    | sed -E 's|.*/||; s|\.cpp$||; s|\.py$||'
     # pooch_cli's executable is renamed on disk; both names are real.
     echo pooch
   } | sort -u

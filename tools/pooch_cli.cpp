@@ -20,6 +20,7 @@
 #include "common/strings.hpp"
 #include "graph/autodiff.hpp"
 #include "graph/liveness.hpp"
+#include "kernels/kernel_context.hpp"
 #include "models/models.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
@@ -40,6 +41,7 @@ struct CliOptions {
   double gpu_gb = 0.0;         // 0 = machine default
   double link_gbps = 0.0;      // 0 = machine default
   int threads = 1;             // planner search parallelism; 0 = all cores
+  int kernel_threads = 0;      // >0: execute real kernels on N threads
   bool timeline = false;
   bool show_classes = false;
   bool validate = false;   // run the TimelineValidator over each run
@@ -71,6 +73,13 @@ void usage() {
       "  --threads N     parallelize the planner's classification search\n"
       "                  over N threads (0 = one per core, default 1);\n"
       "                  the chosen plan is identical at any setting\n"
+      "  --kernel-threads N\n"
+      "                  attach a real numeric backend and execute the\n"
+      "                  scheduled kernels on N threads (0 = off, the\n"
+      "                  default; N includes the calling thread). Prints\n"
+      "                  the training loss and verifies it bit-identical\n"
+      "                  to a serial in-core reference run; nonzero exit\n"
+      "                  on mismatch\n"
       "  --timeline      render an ASCII timeline of the run\n"
       "  --trace F       write a Chrome-trace JSON (chrome://tracing,\n"
       "                  ui.perfetto.dev); --method all writes one file\n"
@@ -125,6 +134,8 @@ bool parse_args(int argc, char** argv, CliOptions& o) {
       o.link_gbps = std::atof(v);
     } else if (a == "--threads" && (v = need_value(i))) {
       o.threads = std::atoi(v);
+    } else if (a == "--kernel-threads" && (v = need_value(i))) {
+      o.kernel_threads = std::atoi(v);
     } else if (a == "--save-plan" && (v = need_value(i))) {
       o.save_plan = v;
     } else if (a == "--load-plan" && (v = need_value(i))) {
@@ -241,12 +252,50 @@ void report(Context& ctx, const char* name, const sim::RunResult& r,
   }
 }
 
+/// Seed for the synthetic parameters/batch when --kernel-threads attaches
+/// a real numeric backend. Fixed so the loss printed by any method/thread
+/// count is comparable.
+constexpr std::uint64_t kDataSeed = 0x5eed;
+
+/// After a method executed real kernels through `data`, re-run the same
+/// iteration in-core on a fresh serial backend and demand bit-identical
+/// results — the CLI-level check of the kernel determinism contract (any
+/// schedule, any thread count, same bits).
+void verify_kernel_run(Context& ctx, sim::DataBackend& data) {
+  sim::DataBackend ref(ctx.g, kDataSeed);
+  const sim::Classification keep(ctx.g, sim::ValueClass::kKeep);
+  sim::RunOptions ro;
+  ro.data = &ref;
+  ctx.runtime->run(keep, ro);
+  const float got = data.loss();
+  const float want = ref.loss();
+  const bool same = std::memcmp(&got, &want, sizeof(float)) == 0 &&
+                    data.param_norm() == ref.param_norm();
+  std::printf("%-16s loss %.6f on %d kernel thread(s): %s\n", "", got,
+              ctx.o.kernel_threads,
+              same ? "bit-identical to serial in-core reference"
+                   : "MISMATCH vs serial in-core reference");
+  if (!same) ctx.exit_status = 1;
+}
+
 void run_method(Context& ctx, const std::string& method) {
   obs::StatsRegistry* stats =
       ctx.o.show_stats ? &obs::StatsRegistry::global() : nullptr;
+  // --kernel-threads: attach a fresh numeric backend so the scheduled
+  // kernels really execute. Fresh per method so `--method all` gives every
+  // method the same starting parameters (and therefore the same loss).
+  std::unique_ptr<kernels::KernelContext> kctx;
+  std::unique_ptr<sim::DataBackend> data;
+  if (ctx.o.kernel_threads > 0) {
+    kctx = std::make_unique<kernels::KernelContext>(ctx.o.kernel_threads);
+    kctx->stats = stats;
+    data = std::make_unique<sim::DataBackend>(ctx.g, kDataSeed, 0.01f,
+                                              kctx.get());
+  }
   sim::RunOptions ro;
   ro.record_timeline = ctx.o.want_timeline();
   ro.stats = stats;
+  ro.data = data.get();
   if (method == "incore") {
     const sim::Classification c(ctx.g, sim::ValueClass::kKeep);
     report(ctx, "in-core", ctx.runtime->run(c, ro), nullptr, &c);
@@ -255,12 +304,14 @@ void run_method(Context& ctx, const std::string& method) {
     auto opts = baselines::swap_all_scheduled_options();
     opts.record_timeline = ctx.o.want_timeline();
     opts.stats = stats;
+    opts.data = data.get();
     report(ctx, "swap-all", ctx.runtime->run(c, opts), nullptr, &c);
   } else if (method == "swap-all-naive") {
     const sim::Classification c(ctx.g, sim::ValueClass::kSwap);
     auto opts = baselines::swap_all_naive_options();
     opts.record_timeline = ctx.o.want_timeline();
     opts.stats = stats;
+    opts.data = data.get();
     report(ctx, "swap-all-naive", ctx.runtime->run(c, opts), nullptr, &c);
   } else if (method == "swap-opt") {
     planner::PlannerOptions popt;
@@ -273,7 +324,13 @@ void run_method(Context& ctx, const std::string& method) {
       std::printf("%-16s infeasible\n", "swap-opt");
       return;
     }
-    report(ctx, "swap-opt", planner::execute_plan(*ctx.runtime, plan, ro),
+    // execute_plan autotunes over two executions; with a numeric backend
+    // attached that would train a second iteration and make the loss
+    // incomparable to the one-iteration reference, so run the
+    // classification exactly once instead.
+    report(ctx, "swap-opt",
+           data ? ctx.runtime->run(plan.classes, ro)
+                : planner::execute_plan(*ctx.runtime, plan, ro),
            &plan.counts, &plan.classes);
   } else if (method == "superneurons") {
     const auto plan = baselines::superneurons_plan(ctx.g, ctx.tape,
@@ -282,6 +339,7 @@ void run_method(Context& ctx, const std::string& method) {
     auto opts = baselines::superneurons_run_options();
     opts.record_timeline = ctx.o.want_timeline();
     opts.stats = stats;
+    opts.data = data.get();
     report(ctx, "superneurons", ctx.runtime->run(plan.classes, opts),
            &plan.counts, &plan.classes);
   } else if (method == "vdnn") {
@@ -302,10 +360,17 @@ void run_method(Context& ctx, const std::string& method) {
       return;
     }
     sim::RunOptions pooch_ro = ro;
-    const auto r = out.execution.ok && !ctx.o.want_timeline()
-                       ? out.execution
-                       : planner::execute_plan(*ctx.runtime, out.plan,
-                                               pooch_ro);
+    // The pipeline's own execution ran without our backend/timeline, so
+    // re-execute the plan whenever either is requested. With a numeric
+    // backend, run the classification exactly once — execute_plan
+    // autotunes over two executions, which would train a second
+    // iteration and break the one-iteration reference comparison.
+    const auto r =
+        data ? ctx.runtime->run(out.plan.classes, pooch_ro)
+             : (out.execution.ok && !ctx.o.want_timeline()
+                    ? out.execution
+                    : planner::execute_plan(*ctx.runtime, out.plan,
+                                            pooch_ro));
     report(ctx, "pooch", r, &out.plan.counts, &out.plan.classes);
     if (ctx.o.show_classes) {
       std::fputs(out.plan.classes.to_string(ctx.g).c_str(), stdout);
@@ -329,7 +394,9 @@ void run_method(Context& ctx, const std::string& method) {
            &classes);
   } else {
     std::fprintf(stderr, "unknown method: %s\n", method.c_str());
+    return;
   }
+  if (data) verify_kernel_run(ctx, *data);
 }
 
 }  // namespace
