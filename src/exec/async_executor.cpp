@@ -1,0 +1,275 @@
+#include "exec/async_executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "exec/event.hpp"
+#include "mem/host_pool.hpp"
+#include "obs/stats.hpp"
+#include "sim/data_backend.hpp"
+
+namespace pooch::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Shared mutable state of one run, owned by AsyncExecutor::run's stack.
+struct RunState {
+  const graph::Graph& graph;
+  const OpStream& stream;
+  sim::DataBackend& data;
+  const AsyncOptions& opts;
+  mem::Staging staging;
+  Clock::time_point t0;
+
+  std::vector<Event> events;
+  std::vector<OpSpan> spans;
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<bool> aborted{false};
+  std::mutex failure_mu;
+  std::string failure;
+
+  RunState(const graph::Graph& g, const OpStream& s, sim::DataBackend& d,
+           const AsyncOptions& o)
+      : graph(g),
+        stream(s),
+        data(d),
+        opts(o),
+        staging(o.staging_slots),
+        t0(Clock::now()),
+        events(s.ops.size()),
+        spans(s.ops.size()) {}
+
+  void fail(const std::string& what) {
+    {
+      std::lock_guard<std::mutex> lock(failure_mu);
+      if (failure.empty()) failure = what;
+    }
+    aborted.store(true, std::memory_order_release);
+  }
+
+  void execute(const StreamOp& op) {
+    switch (op.type) {
+      case OpType::kBeginIteration:
+        data.begin_iteration();
+        break;
+      case OpType::kForward:
+      case OpType::kRecompute:
+        data.forward(op.node, stream.iteration);
+        break;
+      case OpType::kBackward:
+        data.backward(op.node, stream.iteration);
+        break;
+      case OpType::kUpdate:
+        data.update();
+        break;
+      case OpType::kSwapOut: {
+        // Double-buffered retirement: at most `staging_slots` swap-outs
+        // may be moving through the bounce buffers at once.
+        const int slot = staging.acquire();
+        if (opts.host_pool && !opts.host_pool->reserve(op.bytes)) {
+          staging.release(slot);
+          throw Error("async exec: host pool exhausted swapping out v" +
+                      std::to_string(op.value));
+        }
+        data.swap_out(op.value);
+        data.free_value(op.value);
+        staging.release(slot);
+        break;
+      }
+      case OpType::kSwapIn:
+        data.swap_in(op.value);
+        break;
+      case OpType::kFreeValue:
+        data.free_value(op.value);
+        if (opts.host_pool && op.releases_host) {
+          opts.host_pool->release(op.bytes);
+        }
+        break;
+      case OpType::kFreeGrad:
+        data.free_grad(op.value);
+        break;
+    }
+  }
+
+  /// Run one op end-to-end: wait for its dependency events, execute,
+  /// stamp the span, signal. The end sequence number is taken *before*
+  /// the signal, so every waiter observes seq_end(dep) < seq_start(op).
+  void run_op(std::int32_t index, int lane, int worker) {
+    const StreamOp& op = stream.ops[static_cast<std::size_t>(index)];
+    OpSpan& span = spans[static_cast<std::size_t>(index)];
+    span.lane = lane;
+    span.worker = worker;
+    const double wait_begin = seconds_since(t0);
+    for (std::int32_t d : op.deps) {
+      events[static_cast<std::size_t>(d)].wait();
+    }
+    span.start = seconds_since(t0);
+    span.wait = span.start - wait_begin;
+    span.seq_start = seq.fetch_add(1, std::memory_order_acq_rel);
+    if (!aborted.load(std::memory_order_acquire)) {
+      try {
+        execute(op);
+      } catch (const std::exception& e) {
+        fail(std::string(op_type_name(op.type)) + " op " +
+             std::to_string(index) + ": " + e.what());
+      }
+    }
+    span.end = seconds_since(t0);
+    span.seq_end = seq.fetch_add(1, std::memory_order_acq_rel);
+    events[static_cast<std::size_t>(index)].signal();
+  }
+
+  /// Copy-lane worker: FIFO over the lane queue via a shared cursor.
+  void copy_worker(const std::vector<std::int32_t>& queue,
+                   std::atomic<std::size_t>& cursor, int lane, int worker) {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= queue.size()) return;
+      run_op(queue[i], lane, worker);
+    }
+  }
+};
+
+}  // namespace
+
+AsyncExecutor::AsyncExecutor(const graph::Graph& graph, const OpStream& stream)
+    : graph_(graph), stream_(stream) {
+  for (std::int32_t i = 0; i < static_cast<std::int32_t>(stream_.ops.size());
+       ++i) {
+    lane_queue_[lane_of(stream_.ops[static_cast<std::size_t>(i)].type)]
+        .push_back(i);
+  }
+}
+
+AsyncResult AsyncExecutor::run(sim::DataBackend& data,
+                               const AsyncOptions& options) const {
+  POOCH_CHECK(options.workers_per_copy_lane >= 1);
+  RunState state(graph_, stream_, data, options);
+
+  std::atomic<std::size_t> d2h_cursor{0};
+  std::atomic<std::size_t> h2d_cursor{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(2 * options.workers_per_copy_lane));
+  for (int w = 0; w < options.workers_per_copy_lane; ++w) {
+    workers.emplace_back([&state, &d2h_cursor, this, w] {
+      state.copy_worker(lane_queue_[kD2HLane], d2h_cursor, kD2HLane, w);
+    });
+    workers.emplace_back([&state, &h2d_cursor, this, w] {
+      state.copy_worker(lane_queue_[kH2DLane], h2d_cursor, kH2DLane, w);
+    });
+  }
+  // The compute lane is the calling thread, in exported (= serial
+  // program) order.
+  for (std::int32_t i : lane_queue_[kComputeLane]) {
+    state.run_op(i, kComputeLane, 0);
+  }
+  for (auto& t : workers) t.join();
+
+  AsyncResult result;
+  result.wall_seconds = seconds_since(state.t0);
+  result.failure = state.failure;
+  result.ok = result.failure.empty();
+  result.spans = std::move(state.spans);
+  result.staging_acquisitions = state.staging.acquisitions();
+  result.staging_peak_held = state.staging.peak_held();
+
+  for (std::size_t i = 0; i < stream_.ops.size(); ++i) {
+    const StreamOp& op = stream_.ops[i];
+    const OpSpan& span = result.spans[i];
+    const int lane = lane_of(op.type);
+    result.lane_busy[lane] += span.end - span.start;
+    result.lane_wait[lane] += span.wait;
+
+    sim::OpKind kind;
+    switch (op.type) {
+      case OpType::kForward:
+        kind = sim::OpKind::kForward;
+        break;
+      case OpType::kBackward:
+        kind = sim::OpKind::kBackward;
+        break;
+      case OpType::kRecompute:
+        kind = sim::OpKind::kRecompute;
+        break;
+      case OpType::kUpdate:
+        kind = sim::OpKind::kUpdate;
+        break;
+      case OpType::kSwapOut:
+        kind = sim::OpKind::kSwapOut;
+        break;
+      case OpType::kSwapIn:
+        kind = sim::OpKind::kSwapIn;
+        break;
+      default:
+        continue;  // begin/frees are bookkeeping, not timeline ops
+    }
+    sim::OpRecord r;
+    r.kind = kind;
+    r.node = op.node;
+    r.value = op.value;
+    r.start = span.start;
+    r.end = span.end;
+    r.stall = span.wait;
+    r.stall_cause = sim::StallCause::kNone;
+    if (span.wait > 0.0 && lane == kComputeLane) {
+      // Blame the slowest dependency; a swap-in dep is L_I-style
+      // evidence just as in the simulator.
+      for (std::int32_t d : op.deps) {
+        const StreamOp& dep = stream_.ops[static_cast<std::size_t>(d)];
+        if (dep.type == OpType::kSwapIn) {
+          r.stall_cause = sim::StallCause::kSwapInWait;
+          r.stall_value = dep.value;
+        }
+      }
+    }
+    result.timeline.ops.push_back(r);
+    switch (lane) {
+      case kComputeLane:
+        result.timeline.compute_busy += span.end - span.start;
+        result.timeline.compute_stall += span.wait;
+        break;
+      case kD2HLane:
+        result.timeline.d2h_busy += span.end - span.start;
+        break;
+      default:
+        result.timeline.h2d_busy += span.end - span.start;
+        break;
+    }
+    if (op.type == OpType::kForward) {
+      result.timeline.forward_end =
+          std::max(result.timeline.forward_end, span.end);
+    }
+  }
+
+  if (options.stats) {
+    auto& s = *options.stats;
+    s.counter("exec.runs").add(1);
+    s.counter("exec.ops").add(stream_.ops.size());
+    s.counter("exec.staging.acquisitions").add(result.staging_acquisitions);
+    s.gauge("exec.last.wall_seconds").set(result.wall_seconds);
+    s.gauge("exec.last.compute_busy_seconds")
+        .set(result.lane_busy[kComputeLane]);
+    s.gauge("exec.last.compute_wait_seconds")
+        .set(result.lane_wait[kComputeLane]);
+    s.gauge("exec.last.d2h_busy_seconds").set(result.lane_busy[kD2HLane]);
+    s.gauge("exec.last.d2h_wait_seconds").set(result.lane_wait[kD2HLane]);
+    s.gauge("exec.last.h2d_busy_seconds").set(result.lane_busy[kH2DLane]);
+    s.gauge("exec.last.h2d_wait_seconds").set(result.lane_wait[kH2DLane]);
+    s.gauge("exec.last.staging_peak_held")
+        .set(static_cast<double>(result.staging_peak_held));
+  }
+  return result;
+}
+
+}  // namespace pooch::exec

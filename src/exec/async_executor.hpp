@@ -1,0 +1,112 @@
+// AsyncExecutor: real wall-clock overlapped execution of an exported
+// op stream against a sim::DataBackend.
+//
+// Threading model (mirrors the simulator's three streams):
+//   - the calling thread executes the compute lane in stream order;
+//   - `workers_per_copy_lane` dedicated threads each serve the D2H and
+//     H2D lanes, popping ops FIFO from the lane's queue.
+// Each op owns one exec::Event. A worker first waits on the events of
+// the op's dependency edges (cross-lane hazards recorded at export
+// time), executes the backend call, then signals its own event — so a
+// kernel launch blocks only on the specific swap-ins it consumes and
+// swap-outs retire in the background, bounded by a double-buffered
+// mem::Staging area.
+//
+// Why this cannot deadlock: ops are exported in a topological order of
+// the dependency edges and every lane is drained FIFO in that order, so
+// the lowest-indexed unexecuted op always has every dependency already
+// executed (dep indices are strictly smaller) — some worker is always
+// runnable, at any worker count.
+//
+// Why the result is bit-identical to the serial in-core run: compute
+// ops execute on one thread in the exported order, which *is* the
+// serial program order; transfers only move or deep-copy whole value
+// slots, and the dependency edges serialize every cross-lane access to
+// a slot, so each kernel reads exactly the bytes the serial run read.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/op_stream.hpp"
+#include "graph/graph.hpp"
+#include "sim/timeline.hpp"
+
+namespace pooch::mem {
+class HostPool;
+}
+namespace pooch::obs {
+class StatsRegistry;
+}
+namespace pooch::sim {
+class DataBackend;
+}
+
+namespace pooch::exec {
+
+struct AsyncOptions {
+  /// Threads serving each copy lane (1 = one H2D + one D2H worker).
+  int workers_per_copy_lane = 1;
+  /// Staging slots bounding concurrent D2H retirement (2 = classic
+  /// double buffering).
+  int staging_slots = 2;
+  /// Optional host swap-space accounting: swap-outs reserve, releasing
+  /// frees return; reservation failure aborts the run.
+  mem::HostPool* host_pool = nullptr;
+  /// Metrics sink (exec.* counters and gauges).
+  obs::StatsRegistry* stats = nullptr;
+};
+
+/// Measured execution of one op: wall-clock span plus the global
+/// completion-sequence numbers used by the ordering oracle
+/// (obs::TimelineValidator::check_replay). Sequence numbers are exact
+/// where wall times can tie at clock resolution: a dependency's seq_end
+/// is always strictly below its consumer's seq_start.
+struct OpSpan {
+  double start = 0.0;  // seconds since run start
+  double end = 0.0;
+  double wait = 0.0;  // time spent blocked on dependency events
+  std::uint64_t seq_start = 0;
+  std::uint64_t seq_end = 0;
+  int lane = 0;
+  int worker = 0;  // lane-local worker index (compute lane: 0)
+};
+
+struct AsyncResult {
+  bool ok = false;
+  std::string failure;
+
+  double wall_seconds = 0.0;
+  double lane_busy[kNumLanes] = {};
+  double lane_wait[kNumLanes] = {};
+  std::uint64_t staging_acquisitions = 0;
+  int staging_peak_held = 0;
+
+  /// Parallel to the stream's ops.
+  std::vector<OpSpan> spans;
+  /// Real-time spans rendered as a sim::Timeline (compute/D2H/H2D
+  /// kinds only), directly usable with obs::write_chrome_trace for
+  /// visual comparison against the simulated schedule.
+  sim::Timeline timeline;
+};
+
+class AsyncExecutor {
+ public:
+  /// `graph` and `stream` must outlive the executor.
+  AsyncExecutor(const graph::Graph& graph, const OpStream& stream);
+
+  /// Execute the stream against `data`. The backend must be freshly
+  /// seeded (or carried over from the previous iteration's run) exactly
+  /// as it would be for a serial Runtime::run with the same schedule.
+  /// Reusable: each call replays the same stream.
+  AsyncResult run(sim::DataBackend& data,
+                  const AsyncOptions& options = {}) const;
+
+ private:
+  const graph::Graph& graph_;
+  const OpStream& stream_;
+  std::vector<std::int32_t> lane_queue_[kNumLanes];
+};
+
+}  // namespace pooch::exec

@@ -423,4 +423,169 @@ ValidationReport TimelineValidator::check_run(
   return rep;
 }
 
+namespace {
+
+/// Per-value residency history over a replay, ordered by the exact
+/// completion-sequence numbers. A materialization is effective at the
+/// op's seq_end (the data exists once the op finished); a kill
+/// (swap-out move, free) is effective at the op's seq_start (the data
+/// may be gone the moment the op begins).
+struct ReplayHistory {
+  struct EventRec {
+    std::uint64_t seq = 0;
+    bool materializes = false;
+    std::int32_t op = -1;
+  };
+  std::vector<std::vector<EventRec>> by_value;
+
+  void add(ValueId v, std::uint64_t seq, bool materializes, std::int32_t op) {
+    by_value[static_cast<std::size_t>(v)].push_back(
+        EventRec{seq, materializes, op});
+  }
+
+  /// The latest event strictly before `seq`, or nullptr.
+  const EventRec* latest_before(ValueId v, std::uint64_t seq) const {
+    const EventRec* best = nullptr;
+    for (const EventRec& e : by_value[static_cast<std::size_t>(v)]) {
+      if (e.seq < seq && (!best || e.seq > best->seq)) best = &e;
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+ValidationReport TimelineValidator::check_replay(
+    const exec::OpStream& stream,
+    const std::vector<exec::OpSpan>& spans) const {
+  ValidationReport rep;
+  auto error = [&rep](const std::string& msg) {
+    if (rep.errors.size() < kMaxErrors) rep.errors.push_back(msg);
+  };
+  if (spans.size() != stream.ops.size()) {
+    error("span count " + std::to_string(spans.size()) +
+          " does not match op count " + std::to_string(stream.ops.size()));
+    return rep;
+  }
+
+  std::map<NodeId, const std::vector<ValueId>*> needed_by_node;
+  for (const auto& step : tape_) needed_by_node[step.node] = &step.needed;
+
+  // Well-formedness and dependency edges (exact, via sequence numbers;
+  // wall times must agree up to clock monotonicity).
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const exec::OpSpan& s = spans[i];
+    if (!std::isfinite(s.start) || !std::isfinite(s.end) || s.end < s.start ||
+        s.wait < 0.0) {
+      error("op " + std::to_string(i) + ": malformed span");
+    }
+    if (s.seq_end <= s.seq_start) {
+      error("op " + std::to_string(i) + ": sequence numbers not increasing");
+    }
+    for (std::int32_t d : stream.ops[i].deps) {
+      const exec::OpSpan& ds = spans[static_cast<std::size_t>(d)];
+      if (ds.seq_end >= s.seq_start) {
+        error("op " + std::to_string(i) + " started (seq " +
+              std::to_string(s.seq_start) + ") before its dependency " +
+              std::to_string(d) + " completed (seq " +
+              std::to_string(ds.seq_end) + ")");
+      }
+      if (ds.end > s.start) {
+        error("op " + std::to_string(i) + " wall start " +
+              std::to_string(s.start) + " precedes dependency " +
+              std::to_string(d) + " wall end " + std::to_string(ds.end));
+      }
+    }
+  }
+
+  // Per-(lane,worker) spans must be disjoint: one worker executes one
+  // op at a time.
+  std::map<std::pair<int, int>, std::vector<std::size_t>> by_worker;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    by_worker[{spans[i].lane, spans[i].worker}].push_back(i);
+  }
+  for (auto& [key, indices] : by_worker) {
+    std::sort(indices.begin(), indices.end(),
+              [&spans](std::size_t a, std::size_t b) {
+                return spans[a].seq_start < spans[b].seq_start;
+              });
+    for (std::size_t j = 1; j < indices.size(); ++j) {
+      if (spans[indices[j - 1]].seq_end >= spans[indices[j]].seq_start) {
+        error("lane " + std::to_string(key.first) + " worker " +
+              std::to_string(key.second) + ": ops " +
+              std::to_string(indices[j - 1]) + " and " +
+              std::to_string(indices[j]) + " overlap");
+      }
+    }
+  }
+
+  // Residency oracle, derived from the graph and tape independently of
+  // the recorded dependency edges: every read must land on a window
+  // where the value is materialized.
+  ReplayHistory hist;
+  hist.by_value.resize(static_cast<std::size_t>(graph_.num_values()));
+  for (std::size_t i = 0; i < stream.ops.size(); ++i) {
+    const exec::StreamOp& op = stream.ops[i];
+    const exec::OpSpan& s = spans[i];
+    const auto idx = static_cast<std::int32_t>(i);
+    switch (op.type) {
+      case exec::OpType::kBeginIteration:
+        for (ValueId v : graph_.inputs()) hist.add(v, s.seq_end, true, idx);
+        break;
+      case exec::OpType::kForward:
+      case exec::OpType::kRecompute:
+        hist.add(graph_.node(op.node).output, s.seq_end, true, idx);
+        break;
+      case exec::OpType::kSwapIn:
+        hist.add(op.value, s.seq_end, true, idx);
+        break;
+      case exec::OpType::kSwapOut:
+      case exec::OpType::kFreeValue:
+        hist.add(op.value, s.seq_start, false, idx);
+        break;
+      default:
+        break;
+    }
+  }
+  auto check_read = [&](ValueId v, std::size_t reader, std::uint64_t at) {
+    const ReplayHistory::EventRec* e = hist.latest_before(v, at);
+    if (!e) {
+      error("op " + std::to_string(reader) + " read v" + std::to_string(v) +
+            " which was never materialized");
+    } else if (!e->materializes) {
+      error("op " + std::to_string(reader) + " read v" + std::to_string(v) +
+            " after op " + std::to_string(e->op) + " removed it");
+    }
+  };
+  for (std::size_t i = 0; i < stream.ops.size(); ++i) {
+    const exec::StreamOp& op = stream.ops[i];
+    const std::uint64_t at = spans[i].seq_start;
+    switch (op.type) {
+      case exec::OpType::kForward:
+      case exec::OpType::kRecompute:
+        for (ValueId v : graph_.node(op.node).inputs) check_read(v, i, at);
+        break;
+      case exec::OpType::kBackward: {
+        auto it = needed_by_node.find(op.node);
+        if (it == needed_by_node.end()) {
+          error("op " + std::to_string(i) + ": backward of node " +
+                std::to_string(op.node) + " not on the tape");
+          break;
+        }
+        for (ValueId v : *it->second) check_read(v, i, at);
+        break;
+      }
+      case exec::OpType::kSwapOut:
+        // The move reads the device copy at its own start; its kill
+        // event carries the same seq, and latest_before is strict, so
+        // the op does not shadow its own read.
+        check_read(op.value, i, at);
+        break;
+      default:
+        break;
+    }
+  }
+  return rep;
+}
+
 }  // namespace pooch::obs

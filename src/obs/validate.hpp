@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/async_executor.hpp"
+#include "exec/op_stream.hpp"
 #include "graph/autodiff.hpp"
 #include "sim/runtime.hpp"
 
@@ -59,6 +61,18 @@ class TimelineValidator {
   /// `usable_device_bytes` (e.g. machine.usable_gpu_bytes()).
   ValidationReport check_run(const sim::RunResult& r,
                              std::size_t usable_device_bytes) const;
+
+  /// Ordering oracle for an AsyncExecutor replay: the measured spans
+  /// must respect every dependency edge of the op stream, and — derived
+  /// independently of those edges, from the graph and tape — every
+  /// value a compute op reads must have been materialized (forward,
+  /// recompute, or completed swap-in) and not subsequently freed or
+  /// moved out before the op began. Ordering comparisons use the spans'
+  /// exact completion-sequence numbers, not wall times, so clock
+  /// resolution cannot mask or fake a violation. Per-(lane,worker)
+  /// span disjointness is also enforced.
+  ValidationReport check_replay(const exec::OpStream& stream,
+                                const std::vector<exec::OpSpan>& spans) const;
 
  private:
   void check_structure(const sim::Timeline& tl, ValidationReport& rep) const;

@@ -1,5 +1,6 @@
 #include "pooch/pipeline.hpp"
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 
 namespace pooch::planner {
@@ -77,6 +78,19 @@ sim::RunResult execute_plan(const sim::Runtime& runtime,
                  "on-demand swap-ins");
   options.swapin_policy = sim::SwapInPolicy::kOnDemand;
   return runtime.run(plan.classes, options);
+}
+
+exec::OpStream record_op_stream(const sim::Runtime& runtime,
+                                const sim::Classification& classes,
+                                sim::RunOptions options) {
+  exec::OpStream stream;
+  options.data = nullptr;  // pure scheduling pass, no numerics
+  options.export_stream = &stream;
+  sim::RunResult r = runtime.run(classes, options);
+  if (!r.ok) {
+    throw Error("record_op_stream: simulation failed: " + r.failure);
+  }
+  return stream;
 }
 
 sim::RunResult execute_classification(const graph::Graph& graph,

@@ -8,6 +8,7 @@
 // is what the examples and benches call.
 #pragma once
 
+#include "exec/op_stream.hpp"
 #include "pooch/planner.hpp"
 #include "profile/profiler.hpp"
 
@@ -52,6 +53,15 @@ PipelineResult run_pooch(const graph::Graph& graph,
 sim::RunResult execute_plan(const sim::Runtime& runtime,
                             const PlannerResult& plan,
                             sim::RunOptions options = {});
+
+/// Simulate `classes` on `runtime` (no data backend) and return the
+/// exported replayable op stream for exec::AsyncExecutor. Throws
+/// pooch::Error when the simulation cannot complete under `options`
+/// (simulated OOM) — an infeasible classification has no schedule to
+/// replay.
+exec::OpStream record_op_stream(const sim::Runtime& runtime,
+                                const sim::Classification& classes,
+                                sim::RunOptions options = {});
 
 /// Execute an externally supplied classification (used by the baselines
 /// and by the paper's cross-environment experiment in §5.2).

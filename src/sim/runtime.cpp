@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "exec/op_stream.hpp"
 #include "mem/arena.hpp"
 #include "mem/host_pool.hpp"
 #include "obs/stats.hpp"
@@ -112,6 +113,10 @@ class Exec {
         opts_.fixed_swapin_schedule != nullptr &&
         opts_.fixed_swapin_schedule->size() ==
             static_cast<std::size_t>(g_.num_values());
+    if (opts_.export_stream) {
+      opts_.export_stream->ops.clear();
+      xb_.emplace(g_.num_values());
+    }
     build_prefetch_queue();
     build_free_indices();
   }
@@ -123,6 +128,7 @@ class Exec {
     result_.ok = true;
     result_.iteration_time = t_comp_;
     bump("runtime.runs");
+    if (xb_) *opts_.export_stream = xb_->finish(opts_.iteration);
     finalize();
     return std::move(result_);
   }
@@ -141,6 +147,30 @@ class Exec {
 
   ValueState& st(ValueId v) { return states_[static_cast<std::size_t>(v)]; }
   std::size_t vbytes(ValueId v) const { return g_.value(v).byte_size(); }
+
+  // ---- op-stream export ----------------------------------------------
+  //
+  // Every site that would drive a DataBackend call also emits a StreamOp
+  // when export is on, whether or not a backend is attached, so the
+  // exported schedule reproduces the serial call sequence exactly.
+
+  void export_compute(exec::OpType type, NodeId node,
+                      std::span<const ValueId> touched, double start,
+                      double end) {
+    if (!xb_) return;
+    xb_->emit(type, node,
+              type == exec::OpType::kForward ||
+                      type == exec::OpType::kRecompute
+                  ? g_.node(node).output
+                  : -1,
+              touched, 0, start, end);
+  }
+
+  void export_free_value(ValueId v, double t, bool releases_host) {
+    if (!xb_) return;
+    const int i = xb_->emit_value(exec::OpType::kFreeValue, v, 0, t, t);
+    if (releases_host) xb_->set_releases_host(i, vbytes(v));
+  }
 
   // ---- metrics -----------------------------------------------------
 
@@ -362,6 +392,9 @@ class Exec {
     s.dev.reset();
     s.ready = 0.0;
     if (opts_.data) opts_.data->free_value(p.value);
+    // Mirror unrecord_swapin in the exported stream: the transfer never
+    // ran, so tombstone it rather than pairing it with a free.
+    if (xb_) xb_->cancel_swapin(p.value);
     next_q_ = std::min(next_q_, p.queue_index);
     bump("runtime.rescue.cancel_prefetch");
     return true;
@@ -387,6 +420,7 @@ class Exec {
       s.dev.reset();
       s.ready = 0.0;
       if (opts_.data) opts_.data->free_value(it->value);
+      export_free_value(it->value, now, /*releases_host=*/false);
       next_q_ = std::min(next_q_, it->queue_index);
       issued_.erase(std::next(it).base());
       bump("runtime.rescue.evict_completed_prefetch");
@@ -421,6 +455,7 @@ class Exec {
     s.swapin_issued = false;
     s.ready = 0.0;
     if (opts_.data) opts_.data->free_value(best);
+    export_free_value(best, now, /*releases_host=*/false);
     bump("runtime.rescue.wait_inflight_prefetch");
     return true;
   }
@@ -449,6 +484,7 @@ class Exec {
     s.swapin_issued = false;
     s.ready = 0.0;
     if (opts_.data) opts_.data->free_value(best);
+    export_free_value(best, now, /*releases_host=*/false);
     bump("runtime.rescue.evict_clean_resident");
     return true;
   }
@@ -525,6 +561,7 @@ class Exec {
       opts_.data->swap_out(v);
       opts_.data->free_value(v);
     }
+    if (xb_) xb_->emit_value(exec::OpType::kSwapOut, v, vbytes(v), start, end);
     // The device buffer is reclaimable only once the copy has finished.
     schedule_free(*s.dev, end, v, /*from_d2h=*/true);
     s.dev.reset();
@@ -563,6 +600,7 @@ class Exec {
     s.ready = end;
     s.swapin_issued = true;
     if (opts_.data) opts_.data->swap_in(v);
+    if (xb_) xb_->emit_value(exec::OpType::kSwapIn, v, vbytes(v), start, end);
     if (!blocking) {
       issued_.push_back(IssuedPrefetch{v, off, start, prev_cursor,
                                        queue_index});
@@ -638,6 +676,8 @@ class Exec {
 
   void place_graph_inputs() {
     if (opts_.data) opts_.data->begin_iteration();
+    export_compute(exec::OpType::kBeginIteration, kNoNode, g_.inputs(), 0.0,
+                   0.0);
     for (ValueId in : g_.inputs()) {
       AllocOutcome a =
           blocking_alloc(vbytes(in), 0.0, "graph input", value_side(in));
@@ -655,6 +695,7 @@ class Exec {
       schedule_free(*s.dev, t, v, /*from_d2h=*/false);
       s.dev.reset();
       if (opts_.data) opts_.data->free_value(v);
+      export_free_value(v, t, /*releases_host=*/false);
       return;
     }
     if (plan_.swap_out[vi]) {
@@ -694,6 +735,12 @@ class Exec {
       }
       const double end = start + tm_.forward_time(node.id);
       if (opts_.data) opts_.data->forward(node.id, opts_.iteration);
+      if (xb_) {
+        touched_scratch_.assign(node.inputs.begin(), node.inputs.end());
+        touched_scratch_.push_back(out);
+        export_compute(exec::OpType::kForward, node.id, touched_scratch_,
+                       start, end);
+      }
       record(OpKind::kForward, node.id, out, start, end, stall, cause, blame);
       st(out).dev = a_out.offset;
       st(out).ready = end;
@@ -785,6 +832,12 @@ class Exec {
     const double end = start + dur;
     result_.recompute_seconds += dur;
     if (opts_.data) opts_.data->forward(node.id, opts_.iteration);
+    if (xb_) {
+      touched_scratch_.assign(node.inputs.begin(), node.inputs.end());
+      touched_scratch_.push_back(out);
+      export_compute(exec::OpType::kRecompute, node.id, touched_scratch_,
+                     start, end);
+    }
     record(OpKind::kRecompute, node.id, out, start, end, stall, cause, blame);
     if (ws_off) schedule_free(*ws_off, end, -1, false);
     ValueState& s = st(out);
@@ -875,6 +928,8 @@ class Exec {
       }
       const double end = start + tm_.backward_time(bstep.node);
       if (opts_.data) opts_.data->backward(bstep.node, opts_.iteration);
+      export_compute(exec::OpType::kBackward, bstep.node, bstep.needed, start,
+                     end);
       record(OpKind::kBackward, bstep.node, g_.node(bstep.node).output, start,
              end, stall, cause, blame);
       t_comp_ = end;
@@ -886,6 +941,7 @@ class Exec {
       // Free feature maps whose last backward use was this step.
       for (ValueId v : values_by_last_use_[k]) {
         ValueState& s = st(v);
+        export_free_value(v, end, /*releases_host=*/s.on_host);
         if (s.dev.has_value()) {
           schedule_free(*s.dev, end, v, false);
           s.dev.reset();
@@ -904,9 +960,12 @@ class Exec {
           go.reset();
         }
       }
-      if (opts_.data) {
-        for (ValueId v : grad_backend_free_by_step_[k]) {
-          opts_.data->free_grad(v);
+      for (ValueId v : grad_backend_free_by_step_[k]) {
+        if (opts_.data) opts_.data->free_grad(v);
+        // Gradient slots are compute-lane-only: no value-slot touch, no
+        // cross-lane edges.
+        if (xb_) {
+          xb_->emit(exec::OpType::kFreeGrad, kNoNode, v, {}, 0, end, end);
         }
       }
     }
@@ -916,6 +975,7 @@ class Exec {
     const double start = t_comp_;
     const double end = start + tm_.update_time();
     if (opts_.data) opts_.data->update();
+    export_compute(exec::OpType::kUpdate, kNoNode, {}, start, end);
     record(OpKind::kUpdate, kNoNode, -1, start, end, 0.0, StallCause::kNone,
            -1);
     t_comp_ = end;
@@ -984,6 +1044,9 @@ class Exec {
   double t_h2d_ = 0.0;
   int current_step_ = 0;
   bool has_fixed_schedule_ = false;
+
+  std::optional<exec::OpStreamBuilder> xb_;
+  std::vector<ValueId> touched_scratch_;
 
   RunResult result_;
 };

@@ -34,6 +34,10 @@ namespace pooch::obs {
 class StatsRegistry;
 }
 
+namespace pooch::exec {
+struct OpStream;
+}
+
 namespace pooch::sim {
 
 enum class SwapInPolicy : std::uint8_t {
@@ -80,6 +84,12 @@ struct RunOptions {
   std::size_t usable_bytes_override = 0;
   /// Optional real execution.
   DataBackend* data = nullptr;
+  /// When set, the run additionally exports its schedule as a replayable
+  /// op stream with dependency edges (see exec/op_stream.hpp) — the
+  /// input to exec::AsyncExecutor. Works with or without `data`; only
+  /// written when the run completes (ok). Cancelled prefetches are
+  /// compacted out, mirroring unrecord_swapin.
+  exec::OpStream* export_stream = nullptr;
   /// Metrics sink. When set, the run publishes counters (transfers,
   /// recomputes, OOM-rescue events, eager-prefetch headroom blocks),
   /// per-stream busy/stall gauges, arena statistics and stall/transfer

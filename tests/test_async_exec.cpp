@@ -1,0 +1,388 @@
+// Differential fuzz harness for the asynchronous out-of-core executor:
+// for a corpus of random graphs and all classification policies
+// (keep-all, swap-all, planner hybrid), the AsyncExecutor's losses,
+// gradients and parameters must be bit-identical to the serial in-core
+// reference at 1, 2 and 8 copy workers — the paper's transparency claim
+// held under true concurrency. Every replay is additionally checked
+// against the obs::TimelineValidator ordering oracle: measured spans
+// must respect each dependency edge, and every read must land while its
+// value is materialized (derived from the graph/tape, independent of
+// the recorded edges).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cost/cost_model.hpp"
+#include "exec/async_executor.hpp"
+#include "exec/event.hpp"
+#include "exec/op_stream.hpp"
+#include "graph/autodiff.hpp"
+#include "mem/host_pool.hpp"
+#include "models/models.hpp"
+#include "obs/validate.hpp"
+#include "pooch/pipeline.hpp"
+#include "pooch/planner.hpp"
+#include "sim/runtime.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "testing_util.hpp"
+
+namespace pooch::sim {
+namespace {
+
+constexpr std::uint64_t kSeed = 1234;
+
+struct AsyncEnv {
+  graph::Graph g;
+  std::vector<graph::BwdStep> tape;
+  cost::MachineConfig machine;
+  std::unique_ptr<CostTimeModel> tm;
+  std::unique_ptr<Runtime> rt;
+
+  AsyncEnv(graph::Graph graph, std::size_t cap_mib, double link_gbps = 3.0)
+      : g(std::move(graph)),
+        tape(graph::build_backward_tape(g)),
+        machine(cost::test_machine(cap_mib)) {
+    machine.link_gbps = link_gbps;
+    tm = std::make_unique<CostTimeModel>(g, machine);
+    rt = std::make_unique<Runtime>(g, tape, machine, *tm);
+  }
+};
+
+void expect_bit_identical(const graph::Graph& g, const DataBackend& a,
+                          const DataBackend& b, const std::string& what) {
+  EXPECT_EQ(a.loss(), b.loss()) << what;
+  for (const auto& n : g.nodes()) {
+    const auto& pa = a.params(n.id);
+    const auto& pb = b.params(n.id);
+    ASSERT_EQ(pa.size(), pb.size()) << what;
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      EXPECT_TRUE(bit_equal(pa[i], pb[i]))
+          << what << ": param " << i << " of '" << n.name << "' differs";
+      EXPECT_TRUE(bit_equal(a.param_grads(n.id)[i], b.param_grads(n.id)[i]))
+          << what << ": param grad " << i << " of '" << n.name << "' differs";
+    }
+  }
+}
+
+/// Serial in-core reference: keep-all, inline backend, ample memory.
+std::unique_ptr<DataBackend> serial_reference(const AsyncEnv& env,
+                                              int iterations = 1) {
+  auto backend = std::make_unique<DataBackend>(env.g, kSeed);
+  RunOptions ro;
+  ro.data = backend.get();
+  for (int i = 0; i < iterations; ++i) {
+    ro.iteration = static_cast<std::uint64_t>(i);
+    const auto r = env.rt->run(Classification(env.g, ValueClass::kKeep), ro);
+    EXPECT_TRUE(r.ok) << r.failure;
+  }
+  return backend;
+}
+
+/// Export the schedule, replay it through the AsyncExecutor, and run the
+/// ordering oracle on the measured spans.
+std::unique_ptr<DataBackend> async_replay(const AsyncEnv& env,
+                                          const Classification& classes,
+                                          int workers, RunOptions ro = {},
+                                          int iterations = 1) {
+  auto backend = std::make_unique<DataBackend>(env.g, kSeed);
+  const obs::TimelineValidator validator(env.g, env.tape);
+  for (int i = 0; i < iterations; ++i) {
+    ro.iteration = static_cast<std::uint64_t>(i);
+    const exec::OpStream stream =
+        planner::record_op_stream(*env.rt, classes, ro);
+    const auto structural = stream.validate(env.g, env.tape);
+    EXPECT_TRUE(structural.empty())
+        << structural.size() << " structural errors, first: "
+        << structural.front();
+    const exec::AsyncExecutor executor(env.g, stream);
+    exec::AsyncOptions ao;
+    ao.workers_per_copy_lane = workers;
+    const exec::AsyncResult res = executor.run(*backend, ao);
+    EXPECT_TRUE(res.ok) << res.failure;
+    const auto oracle = validator.check_replay(stream, res.spans);
+    EXPECT_TRUE(oracle.ok()) << oracle.to_string();
+  }
+  return backend;
+}
+
+// ---- primitives ------------------------------------------------------
+
+TEST(AsyncExecEvent, SignalBeforeWaitReturnsImmediately) {
+  exec::Event e;
+  EXPECT_FALSE(e.ready());
+  e.signal();
+  EXPECT_TRUE(e.ready());
+  e.wait();  // must not block
+  e.signal();  // idempotent
+  EXPECT_TRUE(e.ready());
+}
+
+TEST(AsyncExecEvent, WaitBlocksUntilCrossThreadSignal) {
+  exec::Event e;
+  std::atomic<bool> observed{false};
+  std::thread waiter([&] {
+    e.wait();
+    observed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(observed.load());
+  e.signal();
+  waiter.join();
+  EXPECT_TRUE(observed.load());
+}
+
+TEST(AsyncExecStaging, DoubleBufferBoundsConcurrentHolders) {
+  mem::Staging staging(2);
+  std::atomic<int> held{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      const int slot = staging.acquire();
+      const int now = held.fetch_add(1) + 1;
+      int p = peak.load();
+      while (now > p && !peak.compare_exchange_weak(p, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      held.fetch_sub(1);
+      staging.release(slot);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_EQ(staging.acquisitions(), 6u);
+  EXPECT_LE(staging.peak_held(), 2);
+}
+
+// ---- op-stream export ------------------------------------------------
+
+TEST(AsyncExecStream, ExportMatchesRecordedTimeline) {
+  AsyncEnv env(models::small_cnn(2, 16), 8192);
+  exec::OpStream stream;
+  RunOptions ro;
+  ro.record_timeline = true;
+  ro.export_stream = &stream;
+  const auto r = env.rt->run(Classification(env.g, ValueClass::kSwap), ro);
+  ASSERT_TRUE(r.ok) << r.failure;
+
+  int tl_swapins = 0, tl_swapouts = 0, tl_compute = 0;
+  for (const auto& op : r.timeline.ops) {
+    tl_swapins += op.kind == OpKind::kSwapIn;
+    tl_swapouts += op.kind == OpKind::kSwapOut;
+    tl_compute += op.kind == OpKind::kForward || op.kind == OpKind::kBackward ||
+                  op.kind == OpKind::kRecompute || op.kind == OpKind::kUpdate;
+  }
+  // Every scheduled transfer appears exactly once in the exported
+  // stream; no dangling or duplicated H2D spans.
+  EXPECT_EQ(stream.count(exec::OpType::kSwapIn), tl_swapins);
+  EXPECT_EQ(stream.count(exec::OpType::kSwapOut), tl_swapouts);
+  EXPECT_GT(tl_swapins, 0);
+  EXPECT_EQ(stream.count(exec::OpType::kForward) +
+                stream.count(exec::OpType::kBackward) +
+                stream.count(exec::OpType::kRecompute) +
+                stream.count(exec::OpType::kUpdate),
+            tl_compute);
+  EXPECT_EQ(stream.count(exec::OpType::kBeginIteration), 1);
+
+  const auto errors = stream.validate(env.g, env.tape);
+  EXPECT_TRUE(errors.empty()) << errors.size() << " errors, first: "
+                              << errors.front();
+  // Swap-ins must carry at least one dependency (the matching swap-out
+  // or an eviction free) — a dependency-free H2D would race the D2H.
+  for (const auto& op : stream.ops) {
+    if (op.type == exec::OpType::kSwapIn) {
+      EXPECT_FALSE(op.deps.empty()) << "swap-in of v" << op.value;
+    }
+  }
+}
+
+TEST(AsyncExecStream, ExportWorksAlongsideDataBackend) {
+  // Export and inline execution in the same run: same stream as a pure
+  // scheduling pass, and the backend still finishes the iteration.
+  AsyncEnv env(models::small_cnn(2, 16), 8192);
+  exec::OpStream pure = planner::record_op_stream(
+      *env.rt, Classification(env.g, ValueClass::kSwap));
+  DataBackend backend(env.g, kSeed);
+  exec::OpStream combined;
+  RunOptions ro;
+  ro.data = &backend;
+  ro.export_stream = &combined;
+  ASSERT_TRUE(env.rt->run(Classification(env.g, ValueClass::kSwap), ro).ok);
+  ASSERT_EQ(pure.ops.size(), combined.ops.size());
+  for (std::size_t i = 0; i < pure.ops.size(); ++i) {
+    EXPECT_EQ(pure.ops[i].type, combined.ops[i].type) << "op " << i;
+    EXPECT_EQ(pure.ops[i].value, combined.ops[i].value) << "op " << i;
+    EXPECT_EQ(pure.ops[i].deps, combined.ops[i].deps) << "op " << i;
+  }
+}
+
+// ---- the differential corpus ----------------------------------------
+
+TEST(AsyncExecDifferential, RandomGraphCorpusBitIdenticalAllPolicies) {
+  int planner_covered = 0;
+  int swap_covered = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    AsyncEnv roomy(testing::random_graph(seed), 8192);
+    const auto ref = serial_reference(roomy);
+    const auto keep = roomy.rt->run(Classification(roomy.g, ValueClass::kKeep));
+    ASSERT_TRUE(keep.ok);
+
+    for (const int workers : {1, 2, 8}) {
+      const std::string tag =
+          "seed " + std::to_string(seed) + " workers " + std::to_string(workers);
+      // keep-all: the stream is pure compute; replay must still match.
+      const auto keep_async = async_replay(
+          roomy, Classification(roomy.g, ValueClass::kKeep), workers);
+      expect_bit_identical(roomy.g, *ref, *keep_async, tag + " keep-all");
+    }
+
+    // Out-of-core capacity: tight enough to force real swap traffic,
+    // relaxed until swap-all's schedule is feasible (the rescue chain
+    // handles most of the 70% cases already).
+    std::unique_ptr<AsyncEnv> tight;
+    for (const std::size_t pct : {70, 80, 90, 100}) {
+      auto candidate = std::make_unique<AsyncEnv>(
+          testing::random_graph(seed),
+          std::max<std::size_t>(1, keep.peak_bytes * pct / 100 / kMiB + 1),
+          1.0);
+      if (candidate->rt
+              ->run(Classification(candidate->g, ValueClass::kSwap))
+              .ok) {
+        tight = std::move(candidate);
+        break;
+      }
+    }
+    ASSERT_TRUE(tight) << "seed " << seed
+                       << ": swap-all infeasible even at full keep peak";
+
+    for (const int workers : {1, 2, 8}) {
+      const std::string tag =
+          "seed " + std::to_string(seed) + " workers " + std::to_string(workers);
+      const auto swap_async = async_replay(
+          *tight, Classification(tight->g, ValueClass::kSwap), workers);
+      expect_bit_identical(tight->g, *ref, *swap_async, tag + " swap-all");
+      ++swap_covered;
+    }
+
+    planner::PoochPlanner planner(tight->g, tight->tape, tight->machine,
+                                  *tight->tm);
+    const auto plan = planner.plan();
+    if (plan.feasible) {
+      for (const int workers : {1, 2, 8}) {
+        const std::string tag =
+            "seed " + std::to_string(seed) + " workers " +
+            std::to_string(workers);
+        const auto hybrid_async =
+            async_replay(*tight, plan.classes, workers);
+        expect_bit_identical(tight->g, *ref, *hybrid_async,
+                             tag + " planner-hybrid");
+      }
+      ++planner_covered;
+    }
+  }
+  EXPECT_GT(swap_covered, 0);
+  EXPECT_GT(planner_covered, 0) << "planner hybrid never feasible on corpus";
+}
+
+TEST(AsyncExecDifferential, MultiIterationTrajectoryBitIdentical) {
+  AsyncEnv env(models::small_cnn(2, 16), 8192);
+  const auto keep = env.rt->run(Classification(env.g, ValueClass::kKeep));
+  ASSERT_TRUE(keep.ok);
+  AsyncEnv tight(models::small_cnn(2, 16),
+                 std::max<std::size_t>(1, keep.peak_bytes * 8 / 10 / kMiB + 1),
+                 1.0);
+  const auto ref = serial_reference(env, /*iterations=*/3);
+  for (const int workers : {1, 2}) {
+    const auto async = async_replay(
+        tight, Classification(tight.g, ValueClass::kSwap), workers, {},
+        /*iterations=*/3);
+    expect_bit_identical(tight.g, *ref, *async,
+                         "3 iterations, workers " + std::to_string(workers));
+  }
+}
+
+TEST(AsyncExecDifferential, ResNetMixedClassification) {
+  AsyncEnv env(models::resnet18(1, 32, 8), 8192);
+  const auto ref = serial_reference(env);
+  Classification mixed(env.g, ValueClass::kKeep);
+  int i = 0;
+  for (const auto& v : env.g.values()) {
+    if (v.producer == graph::kNoNode) continue;
+    switch (i++ % 3) {
+      case 0:
+        mixed.set(v.id, ValueClass::kSwap);
+        break;
+      case 1:
+        mixed.set(v.id, ValueClass::kRecompute);
+        break;
+      default:
+        break;
+    }
+  }
+  for (const int workers : {1, 2, 8}) {
+    const auto async = async_replay(env, mixed, workers);
+    expect_bit_identical(env.g, *ref, *async,
+                         "resnet18 mixed, workers " + std::to_string(workers));
+  }
+}
+
+// ---- accounting and oracle self-checks -------------------------------
+
+TEST(AsyncExecHostPool, SwapAccountingBalances) {
+  AsyncEnv env(models::small_cnn(2, 16), 8192);
+  const exec::OpStream stream = planner::record_op_stream(
+      *env.rt, Classification(env.g, ValueClass::kSwap));
+  DataBackend backend(env.g, kSeed);
+  mem::HostPool pool(std::size_t{1} << 30);
+  const exec::AsyncExecutor executor(env.g, stream);
+  exec::AsyncOptions ao;
+  ao.host_pool = &pool;
+  const auto res = executor.run(backend, ao);
+  ASSERT_TRUE(res.ok) << res.failure;
+  EXPECT_GT(pool.peak_in_use(), 0u);
+  EXPECT_EQ(pool.in_use(), 0u) << "host bytes leaked across the iteration";
+  EXPECT_EQ(res.staging_acquisitions,
+            static_cast<std::uint64_t>(stream.count(exec::OpType::kSwapOut)));
+}
+
+TEST(AsyncExecHostPool, ExhaustedPoolFailsLoudly) {
+  AsyncEnv env(models::small_cnn(2, 16), 8192);
+  const exec::OpStream stream = planner::record_op_stream(
+      *env.rt, Classification(env.g, ValueClass::kSwap));
+  DataBackend backend(env.g, kSeed);
+  mem::HostPool pool(1);  // nothing fits
+  const exec::AsyncExecutor executor(env.g, stream);
+  exec::AsyncOptions ao;
+  ao.host_pool = &pool;
+  const auto res = executor.run(backend, ao);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.failure.find("host pool"), std::string::npos) << res.failure;
+}
+
+TEST(AsyncExecOracle, FlagsFabricatedDependencyViolation) {
+  AsyncEnv env(models::small_cnn(2, 16), 8192);
+  const exec::OpStream stream = planner::record_op_stream(
+      *env.rt, Classification(env.g, ValueClass::kSwap));
+  DataBackend backend(env.g, kSeed);
+  const exec::AsyncExecutor executor(env.g, stream);
+  auto res = executor.run(backend, {});
+  ASSERT_TRUE(res.ok) << res.failure;
+  const obs::TimelineValidator validator(env.g, env.tape);
+  ASSERT_TRUE(validator.check_replay(stream, res.spans).ok());
+
+  // Corrupt one dependent span so it "started" before its dependency
+  // finished; the oracle must notice.
+  bool corrupted = false;
+  for (std::size_t i = 0; i < stream.ops.size() && !corrupted; ++i) {
+    if (stream.ops[i].deps.empty()) continue;
+    const auto d = static_cast<std::size_t>(stream.ops[i].deps.front());
+    res.spans[i].seq_start = res.spans[d].seq_end;  // tie = violation
+    corrupted = true;
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_FALSE(validator.check_replay(stream, res.spans).ok());
+}
+
+}  // namespace
+}  // namespace pooch::sim

@@ -7,8 +7,11 @@
 
 #include "baselines/policies.hpp"
 #include "cost/cost_model.hpp"
+#include "exec/async_executor.hpp"
+#include "exec/op_stream.hpp"
 #include "graph/autodiff.hpp"
 #include "models/models.hpp"
+#include "obs/stats.hpp"
 #include "pooch/pipeline.hpp"
 #include "profile/profiler.hpp"
 #include "sim/runtime.hpp"
@@ -218,6 +221,64 @@ TEST(RescueChain, EvictionKeepsTightRunsAliveAndNumbersExact) {
       probe.rt->run(Classification(probe.g, ValueClass::kKeep), ref).ok);
   EXPECT_EQ(tight_backend.loss(), ref_backend.loss());
   EXPECT_EQ(tight_backend.param_norm(), ref_backend.param_norm());
+}
+
+TEST(RescueChain, CancelledPrefetchesNeverLeaveDanglingSwapIns) {
+  // Regression guard for the op-stream export: when the rescue chain
+  // cancels an issued-but-not-started prefetch, the exported stream must
+  // drop that H2D op exactly like unrecord_swapin drops it from the
+  // timeline. A dangling span here would make the AsyncExecutor fetch a
+  // value whose host copy was never meant to be read at that point.
+  Rig probe(models::small_cnn(8, 32), 4096, 1.0);
+  const auto keep = probe.rt->run(Classification(probe.g, ValueClass::kKeep));
+  ASSERT_TRUE(keep.ok);
+
+  // Sweep capacity downward until a completing run actually exercised
+  // prefetch cancellation (the chain's first rung).
+  std::unique_ptr<Rig> tight;
+  exec::OpStream stream;
+  RunResult r;
+  for (const std::size_t pct : {80, 75, 70, 65, 60}) {
+    auto rig = std::make_unique<Rig>(
+        models::small_cnn(8, 32),
+        std::max<std::size_t>(1, keep.peak_bytes * pct / 100 / kMiB + 1), 1.0);
+    obs::StatsRegistry stats;
+    RunOptions ro;
+    ro.stats = &stats;
+    ro.record_timeline = true;
+    ro.export_stream = &stream;
+    r = rig->rt->run(Classification(rig->g, ValueClass::kSwap), ro);
+    if (r.ok && stats.counter_value("runtime.rescue.cancel_prefetch") > 0) {
+      tight = std::move(rig);
+      break;
+    }
+  }
+  ASSERT_TRUE(tight) << "no capacity in the sweep triggered a prefetch cancel";
+  EXPECT_GT(stream.cancelled_ops, 0);
+
+  // Exactly the surviving transfers appear in the stream — tombstoned
+  // prefetches are compacted out, none dangle.
+  int tl_swapins = 0;
+  for (const auto& op : r.timeline.ops) tl_swapins += op.kind == OpKind::kSwapIn;
+  EXPECT_EQ(stream.count(exec::OpType::kSwapIn), tl_swapins);
+  const auto errors = stream.validate(tight->g, tight->tape);
+  EXPECT_TRUE(errors.empty())
+      << errors.size() << " errors, first: " << errors.front();
+
+  // And the compacted stream still replays to the exact in-core numbers.
+  DataBackend async_backend(tight->g, 31);
+  const exec::AsyncExecutor executor(tight->g, stream);
+  exec::AsyncOptions ao;
+  ao.workers_per_copy_lane = 2;
+  const auto res = executor.run(async_backend, ao);
+  ASSERT_TRUE(res.ok) << res.failure;
+  DataBackend ref_backend(probe.g, 31);
+  RunOptions ref;
+  ref.data = &ref_backend;
+  ASSERT_TRUE(
+      probe.rt->run(Classification(probe.g, ValueClass::kKeep), ref).ok);
+  EXPECT_EQ(async_backend.loss(), ref_backend.loss());
+  EXPECT_EQ(async_backend.param_norm(), ref_backend.param_norm());
 }
 
 TEST(StallAttribution, BlamesTheSlowValues) {

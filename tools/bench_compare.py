@@ -1,26 +1,48 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_kernels.json files and fail on throughput regression.
+"""Compare two bench JSON files and fail on throughput regression.
 
 Usage:
     tools/bench_compare.py baseline.json candidate.json [--tolerance 0.10]
 
-Rows are matched on (kernel, shape, threads). A row regresses when its
-candidate gflops falls more than `tolerance` (default 10%) below the
-baseline. Rows present on only one side are reported but do not fail the
-comparison (the corpus may legitimately grow). Exit status: 0 when no row
-regresses, 1 otherwise.
+Supports the repo's bench JSON convention `{"bench": <name>, "rows": [...]}`:
+
+    kernels     rows keyed on (kernel, shape, threads), metric `gflops`
+                (higher is better);
+    async_exec  rows keyed on (model, policy, copy_workers), metric
+                `speedup` = inline_seconds / async_seconds (higher is
+                better — a drop means the executor lost overlap).
+
+A row regresses when its candidate metric falls more than `tolerance`
+(default 10%) below the baseline. Rows present on only one side are
+reported but do not fail the comparison (the corpus may legitimately
+grow). Comparing files from different bench kinds is an error. Exit
+status: 0 when no row regresses, 1 otherwise.
 """
 
 import argparse
 import json
 import sys
 
+# bench name -> (key fields, metric field)
+SCHEMAS = {
+    "kernels": (("kernel", "shape", "threads"), "gflops"),
+    "async_exec": (("model", "policy", "copy_workers"), "speedup"),
+}
 
-def load_rows(path):
+
+def load(path):
     with open(path) as f:
         doc = json.load(f)
-    rows = doc["rows"] if isinstance(doc, dict) else doc
-    return {(r["kernel"], r["shape"], r["threads"]): r for r in rows}
+    if isinstance(doc, dict):
+        kind = doc.get("bench", "kernels")
+        rows = doc["rows"]
+    else:  # legacy bare-list files predate the envelope
+        kind = "kernels"
+        rows = doc
+    if kind not in SCHEMAS:
+        sys.exit(f"{path}: unknown bench kind '{kind}'")
+    key_fields, metric = SCHEMAS[kind]
+    return kind, metric, {tuple(r[k] for k in key_fields): r for r in rows}
 
 
 def main():
@@ -28,35 +50,39 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("candidate")
     ap.add_argument("--tolerance", type=float, default=0.10,
-                    help="allowed fractional gflops drop (default 0.10)")
+                    help="allowed fractional metric drop (default 0.10)")
     args = ap.parse_args()
 
-    base = load_rows(args.baseline)
-    cand = load_rows(args.candidate)
+    base_kind, metric, base = load(args.baseline)
+    cand_kind, _, cand = load(args.candidate)
+    if base_kind != cand_kind:
+        sys.exit(f"bench kind mismatch: {base_kind} vs {cand_kind}")
 
+    def fmt_key(key):
+        return " ".join(f"{v}" for v in key)
+
+    width = max([len(fmt_key(k)) for k in list(base) + list(cand)] + [10])
     regressions = []
-    print(f"{'kernel':<14} {'shape':<22} {'thr':>3} "
-          f"{'base':>8} {'cand':>8} {'delta':>8}")
-    for key in sorted(base):
+    print(f"{'row':<{width}} {'base':>8} {'cand':>8} {'delta':>8}")
+    for key in sorted(base, key=fmt_key):
         if key not in cand:
-            print(f"{key[0]:<14} {key[1]:<22} {key[2]:>3} "
-                  f"{base[key]['gflops']:>8.2f} {'missing':>8}")
+            print(f"{fmt_key(key):<{width}} {base[key][metric]:>8.2f} "
+                  f"{'missing':>8}")
             continue
-        b = base[key]["gflops"]
-        c = cand[key]["gflops"]
+        b = base[key][metric]
+        c = cand[key][metric]
         delta = (c - b) / b if b > 0 else 0.0
         flag = ""
         if delta < -args.tolerance:
             regressions.append((key, b, c, delta))
             flag = "  REGRESSION"
-        print(f"{key[0]:<14} {key[1]:<22} {key[2]:>3} "
-              f"{b:>8.2f} {c:>8.2f} {delta:>+7.1%}{flag}")
-    for key in sorted(set(cand) - set(base)):
-        print(f"{key[0]:<14} {key[1]:<22} {key[2]:>3} "
-              f"{'new':>8} {cand[key]['gflops']:>8.2f}")
+        print(f"{fmt_key(key):<{width}} {b:>8.2f} {c:>8.2f} "
+              f"{delta:>+7.1%}{flag}")
+    for key in sorted(set(cand) - set(base), key=fmt_key):
+        print(f"{fmt_key(key):<{width}} {'new':>8} {cand[key][metric]:>8.2f}")
 
     if regressions:
-        print(f"\n{len(regressions)} row(s) regressed more than "
+        print(f"\n{len(regressions)} {metric} row(s) regressed more than "
               f"{args.tolerance:.0%}", file=sys.stderr)
         return 1
     print("\nno regressions")

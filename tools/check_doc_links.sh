@@ -9,7 +9,7 @@ set -u
 cd "$(dirname "$0")/.."
 
 DOCS=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/ALGORITHMS.md
-      docs/KERNELS.md)
+      docs/KERNELS.md docs/EXECUTOR.md)
 fail=0
 
 # Build-target names. Direct add_executable/add_test declarations, plus

@@ -18,6 +18,8 @@
 #include "baselines/policies.hpp"
 #include "baselines/superneurons.hpp"
 #include "common/strings.hpp"
+#include "exec/async_executor.hpp"
+#include "exec/op_stream.hpp"
 #include "graph/autodiff.hpp"
 #include "graph/liveness.hpp"
 #include "kernels/kernel_context.hpp"
@@ -42,6 +44,8 @@ struct CliOptions {
   double link_gbps = 0.0;      // 0 = machine default
   int threads = 1;             // planner search parallelism; 0 = all cores
   int kernel_threads = 0;      // >0: execute real kernels on N threads
+  bool async_exec = false;     // replay the schedule through AsyncExecutor
+  int copy_workers = 1;        // H2D/D2H worker threads per copy lane
   bool timeline = false;
   bool show_classes = false;
   bool validate = false;   // run the TimelineValidator over each run
@@ -80,6 +84,15 @@ void usage() {
       "                  the training loss and verifies it bit-identical\n"
       "                  to a serial in-core reference run; nonzero exit\n"
       "                  on mismatch\n"
+      "  --async-exec    export the method's schedule as a replayable op\n"
+      "                  stream and execute it through the asynchronous\n"
+      "                  out-of-core executor (one compute thread plus\n"
+      "                  dedicated H2D/D2H copy workers). Verifies the\n"
+      "                  result bit-identical to a serial in-core\n"
+      "                  reference; nonzero exit on mismatch\n"
+      "  --copy-workers N\n"
+      "                  copy worker threads per transfer lane for\n"
+      "                  --async-exec (default 1)\n"
       "  --timeline      render an ASCII timeline of the run\n"
       "  --trace F       write a Chrome-trace JSON (chrome://tracing,\n"
       "                  ui.perfetto.dev); --method all writes one file\n"
@@ -136,6 +149,10 @@ bool parse_args(int argc, char** argv, CliOptions& o) {
       o.threads = std::atoi(v);
     } else if (a == "--kernel-threads" && (v = need_value(i))) {
       o.kernel_threads = std::atoi(v);
+    } else if (a == "--async-exec") {
+      o.async_exec = true;
+    } else if (a == "--copy-workers" && (v = need_value(i))) {
+      o.copy_workers = std::atoi(v);
     } else if (a == "--save-plan" && (v = need_value(i))) {
       o.save_plan = v;
     } else if (a == "--load-plan" && (v = need_value(i))) {
@@ -209,9 +226,89 @@ std::string trace_path_for(const CliOptions& o, const char* name) {
   return o.trace.substr(0, dot) + "." + method + o.trace.substr(dot);
 }
 
+/// Insert an infix before the first extension: run.trace.json ->
+/// run.async.trace.json (keeps `--trace` outputs from colliding).
+std::string with_infix(const std::string& path, const char* infix) {
+  const std::size_t dot = path.find('.');
+  if (dot == std::string::npos) return path + "." + infix;
+  return path.substr(0, dot) + "." + infix + path.substr(dot);
+}
+
+/// Seed for the synthetic parameters/batch whenever the CLI attaches a
+/// real numeric backend (--kernel-threads, --async-exec). Fixed so the
+/// loss printed by any method/thread count is comparable.
+constexpr std::uint64_t kDataSeed = 0x5eed;
+
+/// --async-exec: export the schedule the simulator just timed as a
+/// replayable op stream, execute it for real through the AsyncExecutor
+/// (concurrent copy workers against a fresh numeric backend), and demand
+/// the result bit-identical to a serial in-core reference run.
+void run_async_exec(Context& ctx, const char* name,
+                    const sim::Classification& classes, sim::RunOptions ro) {
+  ro.data = nullptr;
+  ro.stats = nullptr;
+  ro.record_timeline = false;
+  ro.export_stream = nullptr;
+  exec::OpStream stream;
+  try {
+    stream = planner::record_op_stream(*ctx.runtime, classes, ro);
+  } catch (const Error& e) {
+    std::printf("%-16s async exec: export infeasible (%s)\n", "", e.what());
+    return;
+  }
+  sim::DataBackend data(ctx.g, kDataSeed);
+  const exec::AsyncExecutor executor(ctx.g, stream);
+  exec::AsyncOptions ao;
+  ao.workers_per_copy_lane = ctx.o.copy_workers;
+  ao.stats = ctx.o.show_stats ? &obs::StatsRegistry::global() : nullptr;
+  const exec::AsyncResult res = executor.run(data, ao);
+  if (!res.ok) {
+    std::fprintf(stderr, "%s: async execution FAILED: %s\n", name,
+                 res.failure.c_str());
+    ctx.exit_status = 1;
+    return;
+  }
+
+  // The reference must never (simulated-)OOM, so give it a machine that
+  // can keep everything resident — device capacity has no effect on the
+  // numerics, only on the schedule.
+  cost::MachineConfig roomy = ctx.machine;
+  roomy.gpu_capacity_bytes =
+      std::max(roomy.gpu_capacity_bytes,
+               graph::incore_peak_bytes(ctx.g) * 2 + (std::size_t{1} << 30));
+  sim::Runtime ref_rt(ctx.g, ctx.tape, roomy, *ctx.hardware);
+  sim::DataBackend ref(ctx.g, kDataSeed);
+  sim::RunOptions rro;
+  rro.data = &ref;
+  const auto rr =
+      ref_rt.run(sim::Classification(ctx.g, sim::ValueClass::kKeep), rro);
+  const float got = data.loss();
+  const float want = ref.loss();
+  const bool same = rr.ok && std::memcmp(&got, &want, sizeof(float)) == 0 &&
+                    data.param_norm() == ref.param_norm();
+  std::printf("%-16s async exec, %d copy worker(s)/lane: wall %s   "
+              "compute busy %s wait %s   H2D busy %s   D2H busy %s\n",
+              "", ctx.o.copy_workers, format_time(res.wall_seconds).c_str(),
+              format_time(res.lane_busy[exec::kComputeLane]).c_str(),
+              format_time(res.lane_wait[exec::kComputeLane]).c_str(),
+              format_time(res.lane_busy[exec::kH2DLane]).c_str(),
+              format_time(res.lane_busy[exec::kD2HLane]).c_str());
+  std::printf("%-16s async exec loss %.6f: %s\n", "", got,
+              same ? "bit-identical to serial in-core reference"
+                   : "MISMATCH vs serial in-core reference");
+  if (!same) ctx.exit_status = 1;
+  if (!ctx.o.trace.empty()) {
+    const std::string path =
+        with_infix(trace_path_for(ctx.o, name), "async");
+    obs::write_chrome_trace(path, ctx.g, res.timeline, {});
+    std::printf("%-16s async trace written to %s\n", "", path.c_str());
+  }
+}
+
 void report(Context& ctx, const char* name, const sim::RunResult& r,
             const std::array<int, 3>* counts = nullptr,
-            const sim::Classification* classes = nullptr) {
+            const sim::Classification* classes = nullptr,
+            const sim::RunOptions* run_opts = nullptr) {
   if (!r.ok) {
     std::printf("%-16s OOM\n", name);
     if (ctx.o.timeline) std::printf("%s\n", r.failure.c_str());
@@ -250,12 +347,11 @@ void report(Context& ctx, const char* name, const sim::RunResult& r,
     obs::write_chrome_trace(path, ctx.g, r.timeline, topt);
     std::printf("%-16s trace written to %s\n", "", path.c_str());
   }
+  if (ctx.o.async_exec && classes) {
+    run_async_exec(ctx, name, *classes,
+                   run_opts ? *run_opts : sim::RunOptions{});
+  }
 }
-
-/// Seed for the synthetic parameters/batch when --kernel-threads attaches
-/// a real numeric backend. Fixed so the loss printed by any method/thread
-/// count is comparable.
-constexpr std::uint64_t kDataSeed = 0x5eed;
 
 /// After a method executed real kernels through `data`, re-run the same
 /// iteration in-core on a fresh serial backend and demand bit-identical
@@ -305,14 +401,15 @@ void run_method(Context& ctx, const std::string& method) {
     opts.record_timeline = ctx.o.want_timeline();
     opts.stats = stats;
     opts.data = data.get();
-    report(ctx, "swap-all", ctx.runtime->run(c, opts), nullptr, &c);
+    report(ctx, "swap-all", ctx.runtime->run(c, opts), nullptr, &c, &opts);
   } else if (method == "swap-all-naive") {
     const sim::Classification c(ctx.g, sim::ValueClass::kSwap);
     auto opts = baselines::swap_all_naive_options();
     opts.record_timeline = ctx.o.want_timeline();
     opts.stats = stats;
     opts.data = data.get();
-    report(ctx, "swap-all-naive", ctx.runtime->run(c, opts), nullptr, &c);
+    report(ctx, "swap-all-naive", ctx.runtime->run(c, opts), nullptr, &c,
+           &opts);
   } else if (method == "swap-opt") {
     planner::PlannerOptions popt;
     popt.stats = stats;
@@ -341,7 +438,7 @@ void run_method(Context& ctx, const std::string& method) {
     opts.stats = stats;
     opts.data = data.get();
     report(ctx, "superneurons", ctx.runtime->run(plan.classes, opts),
-           &plan.counts, &plan.classes);
+           &plan.counts, &plan.classes, &opts);
   } else if (method == "vdnn") {
     const auto c = baselines::vdnn_conv_classify(ctx.g, ctx.tape);
     report(ctx, "vdnn", ctx.runtime->run(c, ro), nullptr, &c);
