@@ -184,6 +184,18 @@ json::Value chrome_trace(const Graph& graph, const Timeline& tl,
     }
   }
 
+  for (const auto& [seconds, label] : options.markers) {
+    json::Object m;
+    m["ph"] = "i";
+    m["s"] = "g";  // global scope: full-height marker line
+    m["pid"] = 0;
+    m["tid"] = sim::kComputeStream;
+    m["cat"] = "calibration";
+    m["name"] = json::Value(label);
+    m["ts"] = json::Value(seconds * kToMicros);
+    events.push_back(json::Value(std::move(m)));
+  }
+
   if (tl.forward_end > 0.0) {
     json::Object i;
     i["ph"] = "i";

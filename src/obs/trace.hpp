@@ -13,6 +13,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "sim/plan.hpp"
@@ -28,6 +30,10 @@ struct TraceOptions {
   /// When set, per-op args carry the value's keep/swap/recompute class
   /// and transfer slices are color-coded by it.
   const sim::Classification* classes = nullptr;
+  /// Extra full-height instant markers (seconds, label) — the measured
+  /// pipeline uses these to stamp drift-triggered re-plan events into
+  /// the session trace.
+  std::vector<std::pair<double, std::string>> markers;
 };
 
 /// Build the trace document.

@@ -1,32 +1,41 @@
 #!/usr/bin/env python3
-"""Compare two bench JSON files and fail on throughput regression.
+"""Compare two bench JSON files and fail on metric regression.
 
 Usage:
     tools/bench_compare.py baseline.json candidate.json [--tolerance 0.10]
 
 Supports the repo's bench JSON convention `{"bench": <name>, "rows": [...]}`:
 
-    kernels     rows keyed on (kernel, shape, threads), metric `gflops`
-                (higher is better);
-    async_exec  rows keyed on (model, policy, copy_workers), metric
-                `speedup` = inline_seconds / async_seconds (higher is
-                better — a drop means the executor lost overlap).
+    kernels      rows keyed on (kernel, shape, threads), metric `gflops`
+                 (higher is better);
+    async_exec   rows keyed on (model, policy, copy_workers), metric
+                 `speedup` = inline_seconds / async_seconds (higher is
+                 better — a drop means the executor lost overlap);
+    calibration  rows keyed on (model,), metric `calibrated_error` =
+                 |calibrated_predicted - observed| / observed (LOWER is
+                 better — a rise means the measured time model lost
+                 accuracy against the wall clock).
 
-A row regresses when its candidate metric falls more than `tolerance`
-(default 10%) below the baseline. Rows present on only one side are
-reported but do not fail the comparison (the corpus may legitimately
-grow). Comparing files from different bench kinds is an error. Exit
-status: 0 when no row regresses, 1 otherwise.
+A row regresses when its candidate metric moves more than `tolerance`
+(default 10%) in the bad direction relative to the baseline. Rows present
+on only one side are reported but do not fail the comparison (the corpus
+may legitimately grow). An envelope without a "bench" key, or with one
+this tool does not know, is a hard error — silently assuming a schema
+would let a renamed bench pass vacuously. Comparing files from different
+bench kinds is an error. Exit status: 0 when no row regresses, 1 on
+regression, 2 on a schema/usage error.
 """
 
 import argparse
 import json
 import sys
 
-# bench name -> (key fields, metric field)
+# bench name -> (key fields, metric field, direction)
+# direction: "higher" = drops regress, "lower" = rises regress.
 SCHEMAS = {
-    "kernels": (("kernel", "shape", "threads"), "gflops"),
-    "async_exec": (("model", "policy", "copy_workers"), "speedup"),
+    "kernels": (("kernel", "shape", "threads"), "gflops", "higher"),
+    "async_exec": (("model", "policy", "copy_workers"), "speedup", "higher"),
+    "calibration": (("model",), "calibrated_error", "lower"),
 }
 
 
@@ -34,15 +43,52 @@ def load(path):
     with open(path) as f:
         doc = json.load(f)
     if isinstance(doc, dict):
-        kind = doc.get("bench", "kernels")
+        if "bench" not in doc:
+            sys.exit(f"error: {path}: envelope has no 'bench' key; refusing "
+                     f"to guess a schema (known: {', '.join(SCHEMAS)})")
+        kind = doc["bench"]
         rows = doc["rows"]
     else:  # legacy bare-list files predate the envelope
+        print(f"warning: {path}: legacy bare-list file, assuming 'kernels'",
+              file=sys.stderr)
         kind = "kernels"
         rows = doc
     if kind not in SCHEMAS:
-        sys.exit(f"{path}: unknown bench kind '{kind}'")
-    key_fields, metric = SCHEMAS[kind]
-    return kind, metric, {tuple(r[k] for k in key_fields): r for r in rows}
+        sys.exit(f"error: {path}: unknown bench kind '{kind}' "
+                 f"(known: {', '.join(SCHEMAS)})")
+    key_fields, metric, direction = SCHEMAS[kind]
+    return kind, metric, direction, \
+        {tuple(r[k] for k in key_fields): r for r in rows}
+
+
+def compare(base, cand, metric, direction, tolerance, out=sys.stdout):
+    """Print the row-by-row table; return the list of regressed keys."""
+    def fmt_key(key):
+        return " ".join(f"{v}" for v in key)
+
+    width = max([len(fmt_key(k)) for k in list(base) + list(cand)] + [10])
+    regressions = []
+    print(f"{'row':<{width}} {'base':>8} {'cand':>8} {'delta':>8}", file=out)
+    for key in sorted(base, key=fmt_key):
+        if key not in cand:
+            print(f"{fmt_key(key):<{width}} {base[key][metric]:>8.2f} "
+                  f"{'missing':>8}", file=out)
+            continue
+        b = base[key][metric]
+        c = cand[key][metric]
+        delta = (c - b) / b if b > 0 else 0.0
+        bad = delta < -tolerance if direction == "higher" \
+            else delta > tolerance
+        flag = ""
+        if bad:
+            regressions.append((key, b, c, delta))
+            flag = "  REGRESSION"
+        print(f"{fmt_key(key):<{width}} {b:>8.2f} {c:>8.2f} "
+              f"{delta:>+7.1%}{flag}", file=out)
+    for key in sorted(set(cand) - set(base), key=fmt_key):
+        print(f"{fmt_key(key):<{width}} {'new':>8} {cand[key][metric]:>8.2f}",
+              file=out)
+    return regressions
 
 
 def main():
@@ -50,37 +96,16 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("candidate")
     ap.add_argument("--tolerance", type=float, default=0.10,
-                    help="allowed fractional metric drop (default 0.10)")
+                    help="allowed fractional metric move in the bad "
+                         "direction (default 0.10)")
     args = ap.parse_args()
 
-    base_kind, metric, base = load(args.baseline)
-    cand_kind, _, cand = load(args.candidate)
+    base_kind, metric, direction, base = load(args.baseline)
+    cand_kind, _, _, cand = load(args.candidate)
     if base_kind != cand_kind:
-        sys.exit(f"bench kind mismatch: {base_kind} vs {cand_kind}")
+        sys.exit(f"error: bench kind mismatch: {base_kind} vs {cand_kind}")
 
-    def fmt_key(key):
-        return " ".join(f"{v}" for v in key)
-
-    width = max([len(fmt_key(k)) for k in list(base) + list(cand)] + [10])
-    regressions = []
-    print(f"{'row':<{width}} {'base':>8} {'cand':>8} {'delta':>8}")
-    for key in sorted(base, key=fmt_key):
-        if key not in cand:
-            print(f"{fmt_key(key):<{width}} {base[key][metric]:>8.2f} "
-                  f"{'missing':>8}")
-            continue
-        b = base[key][metric]
-        c = cand[key][metric]
-        delta = (c - b) / b if b > 0 else 0.0
-        flag = ""
-        if delta < -args.tolerance:
-            regressions.append((key, b, c, delta))
-            flag = "  REGRESSION"
-        print(f"{fmt_key(key):<{width}} {b:>8.2f} {c:>8.2f} "
-              f"{delta:>+7.1%}{flag}")
-    for key in sorted(set(cand) - set(base), key=fmt_key):
-        print(f"{fmt_key(key):<{width}} {'new':>8} {cand[key][metric]:>8.2f}")
-
+    regressions = compare(base, cand, metric, direction, args.tolerance)
     if regressions:
         print(f"\n{len(regressions)} {metric} row(s) regressed more than "
               f"{args.tolerance:.0%}", file=sys.stderr)

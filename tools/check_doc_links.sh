@@ -8,9 +8,19 @@ set -u
 
 cd "$(dirname "$0")/.."
 
-DOCS=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/ALGORITHMS.md
-      docs/KERNELS.md docs/EXECUTOR.md)
+DOCS=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/ARCHITECTURE.md
+      docs/ALGORITHMS.md docs/KERNELS.md docs/EXECUTOR.md docs/PROFILING.md)
 fail=0
+
+# GitHub-style heading slugs of a markdown file: lowercase, punctuation
+# stripped (backticks first, so `code` headings slug like plain text),
+# spaces to hyphens. Duplicate-heading -1/-2 suffixes are not modelled —
+# a fragment matching any heading's base slug is accepted.
+anchors_of() {
+  grep -E '^#{1,6} ' "$1" 2>/dev/null | sed -E 's/^#+[[:space:]]+//' \
+    | tr '[:upper:]' '[:lower:]' \
+    | sed -E 's/`//g; s/[^a-z0-9 _-]//g; s/[[:space:]]+/-/g'
+}
 
 # Build-target names. Direct add_executable/add_test declarations, plus
 # every target declared through the list+foreach idiom the bench/ and
@@ -70,6 +80,44 @@ for doc in "${DOCS[@]}"; do
       fi
     fi
   done <<< "$refs"
+
+  # Markdown links [text](target): the target file must exist relative
+  # to the doc's own directory, and a #fragment must name a real heading
+  # (GitHub slug) in the linked file — or in this doc for bare #anchors.
+  links=$(grep -oE '\[[^]]*\]\([^)]+\)' "$doc" \
+            | sed -E 's/^\[[^]]*\]\(([^)]+)\)$/\1/' | sort -u)
+  docdir=$(dirname "$doc")
+  while IFS= read -r link; do
+    [ -n "$link" ] || continue
+    case "$link" in
+      http*|mailto:*) continue ;;
+    esac
+    file="${link%%#*}"
+    frag=""
+    case "$link" in *'#'*) frag="${link#*#}" ;; esac
+    if [ -z "$file" ]; then
+      target="$doc"  # bare #anchor: fragment of this document
+    else
+      case "$file" in
+        /*) target=".$file" ;;         # repo-absolute
+        *)  target="$docdir/$file" ;;  # relative to the doc
+      esac
+      if [ ! -e "$target" ]; then
+        echo "$doc: broken link target: ($link)"
+        fail=1
+        continue
+      fi
+    fi
+    if [ -n "$frag" ]; then
+      case "$target" in
+        *.md)
+          if ! anchors_of "$target" | grep -qx "$frag"; then
+            echo "$doc: broken anchor: ($link) — no heading slugs to '$frag' in $target"
+            fail=1
+          fi ;;
+      esac
+    fi
+  done <<< "$links"
 
   # bench_* / pooch_* words used as target names in prose or commands.
   words=$(grep -ohE '\b(bench_[a-z0-9_]+|pooch_cli|pooch_tests|pooch_slow_tests)\b' "$doc" | sort -u)

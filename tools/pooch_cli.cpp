@@ -46,6 +46,12 @@ struct CliOptions {
   int kernel_threads = 0;      // >0: execute real kernels on N threads
   bool async_exec = false;     // replay the schedule through AsyncExecutor
   int copy_workers = 1;        // H2D/D2H worker threads per copy lane
+  bool measured_profile = false;  // run the measured calibration loop
+  int calibration_iters = 3;      // measured iterations per round (k)
+  int calibration_warmup = 1;     // unrecorded warm-up iterations
+  double replan_threshold = 0.25; // drift triggering a re-plan
+  double blend = 1.0;             // measured vs scaled-roofline blend
+  double inject_drift = 1.0;      // !=1: force a miscalibrated model
   bool timeline = false;
   bool show_classes = false;
   bool validate = false;   // run the TimelineValidator over each run
@@ -93,6 +99,29 @@ void usage() {
       "  --copy-workers N\n"
       "                  copy worker threads per transfer lane for\n"
       "                  --async-exec (default 1)\n"
+      "  --measured-profile\n"
+      "                  close the profiling loop: plan on the analytic\n"
+      "                  model, execute the plan for real through the\n"
+      "                  async executor, calibrate the planner's time\n"
+      "                  model from measured per-op wall times, re-plan\n"
+      "                  when predicted vs observed iteration time\n"
+      "                  drifts, and verify every executed iteration\n"
+      "                  bit-identical to serial in-core training;\n"
+      "                  nonzero exit on mismatch (docs/PROFILING.md)\n"
+      "  --calibration-iters K\n"
+      "                  measured iterations per calibration round\n"
+      "                  (median-of-K, default 3)\n"
+      "  --calibration-warmup N\n"
+      "                  unrecorded warm-up iterations per round\n"
+      "                  (default 1)\n"
+      "  --replan-threshold X\n"
+      "                  re-plan when |predicted-observed|/observed\n"
+      "                  exceeds X (default 0.25)\n"
+      "  --blend B       weight of the measurement vs the scaled\n"
+      "                  analytic fallback for observed ops (default 1)\n"
+      "  --inject-drift F\n"
+      "                  multiply calibrated times by F to emulate a\n"
+      "                  stale profile (test/bench knob, default 1)\n"
       "  --timeline      render an ASCII timeline of the run\n"
       "  --trace F       write a Chrome-trace JSON (chrome://tracing,\n"
       "                  ui.perfetto.dev); --method all writes one file\n"
@@ -153,6 +182,18 @@ bool parse_args(int argc, char** argv, CliOptions& o) {
       o.async_exec = true;
     } else if (a == "--copy-workers" && (v = need_value(i))) {
       o.copy_workers = std::atoi(v);
+    } else if (a == "--measured-profile") {
+      o.measured_profile = true;
+    } else if (a == "--calibration-iters" && (v = need_value(i))) {
+      o.calibration_iters = std::atoi(v);
+    } else if (a == "--calibration-warmup" && (v = need_value(i))) {
+      o.calibration_warmup = std::atoi(v);
+    } else if (a == "--replan-threshold" && (v = need_value(i))) {
+      o.replan_threshold = std::atof(v);
+    } else if (a == "--blend" && (v = need_value(i))) {
+      o.blend = std::atof(v);
+    } else if (a == "--inject-drift" && (v = need_value(i))) {
+      o.inject_drift = std::atof(v);
     } else if (a == "--save-plan" && (v = need_value(i))) {
       o.save_plan = v;
     } else if (a == "--load-plan" && (v = need_value(i))) {
@@ -374,6 +415,86 @@ void verify_kernel_run(Context& ctx, sim::DataBackend& data) {
   if (!same) ctx.exit_status = 1;
 }
 
+/// --measured-profile: the full calibration loop (docs/PROFILING.md).
+/// Plans on the analytic model, executes the plan for real, calibrates
+/// the time model from measured per-op wall times, re-plans on drift,
+/// and verifies bit-identity against serial in-core training.
+void run_measured_profile(Context& ctx) {
+  obs::StatsRegistry* stats =
+      ctx.o.show_stats ? &obs::StatsRegistry::global() : nullptr;
+  kernels::KernelContext kctx(std::max(1, ctx.o.kernel_threads));
+  kctx.stats = stats;
+
+  planner::MeasuredPipelineOptions mo;
+  mo.pipeline.planner.stats = stats;
+  mo.pipeline.planner.threads = ctx.o.threads;
+  mo.measure.iterations = ctx.o.calibration_iters;
+  mo.measure.warmup_iterations = ctx.o.calibration_warmup;
+  mo.measure.copy_workers = ctx.o.copy_workers;
+  mo.measure.stats = stats;
+  mo.calibrate.blend = ctx.o.blend;
+  mo.calibrate.inject_drift = ctx.o.inject_drift;
+  mo.replan_threshold = ctx.o.replan_threshold;
+  mo.kernel_ctx = &kctx;
+  mo.collect_session_timeline = !ctx.o.trace.empty();
+  mo.stats = stats;
+
+  const auto out = planner::run_pooch_measured(ctx.g, ctx.tape, ctx.machine,
+                                               *ctx.hardware, mo);
+  if (!out.failure.empty()) {
+    std::fprintf(stderr, "measured profile FAILED: %s\n",
+                 out.failure.c_str());
+    ctx.exit_status = 1;
+    return;
+  }
+
+  const auto& plan = out.final_plan;
+  std::printf("%-16s keep %d / swap %d / recompute %d%s\n",
+              "measured pooch", plan.counts[0], plan.counts[1],
+              plan.counts[2],
+              out.replans > 0 ? "  (re-planned on calibrated times)" : "");
+  std::printf("%-16s measured %d iterations (median-of-%d, %d warm-up), "
+              "compute coverage %.0f%%, %lld outlier(s) rejected\n", "",
+              out.iterations_executed, ctx.o.calibration_iters,
+              ctx.o.calibration_warmup,
+              out.measured.compute_coverage() * 100.0,
+              static_cast<long long>(out.measured.outliers_rejected()));
+  std::printf("%-16s observed iteration %-10s\n", "",
+              format_time(out.observed_seconds).c_str());
+  std::printf("%-16s roofline   predicted %-10s error %6.1f%%\n", "",
+              format_time(out.roofline_predicted).c_str(),
+              out.roofline_error * 100.0);
+  std::printf("%-16s calibrated predicted %-10s error %6.1f%%\n", "",
+              format_time(out.calibrated_predicted).c_str(),
+              out.calibrated_error * 100.0);
+  std::printf("%-16s drift checks %d, re-plans %d, last drift %.1f%% "
+              "(threshold %.0f%%)\n", "", out.drift_checks, out.replans,
+              out.last_drift_error * 100.0, ctx.o.replan_threshold * 100.0);
+  std::printf("%-16s loss %.6f after %d iteration(s): %s\n", "", out.loss,
+              out.iterations_executed,
+              out.bit_identical
+                  ? "bit-identical to serial in-core reference"
+                  : "MISMATCH vs serial in-core reference");
+  if (!out.ok) ctx.exit_status = 1;
+
+  if (!ctx.o.trace.empty()) {
+    obs::TraceOptions topt;
+    topt.classes = &plan.classes;
+    topt.markers = out.trace_markers;
+    const std::string path = with_infix(ctx.o.trace, "calibration");
+    obs::write_chrome_trace(path, ctx.g, out.session_timeline, topt);
+    std::printf("%-16s session trace written to %s\n", "", path.c_str());
+  }
+  if (ctx.o.show_classes) {
+    std::fputs(plan.classes.to_string(ctx.g).c_str(), stdout);
+  }
+  if (!ctx.o.save_plan.empty()) {
+    std::ofstream f(ctx.o.save_plan);
+    f << plan.classes.serialize() << "\n";
+    std::printf("plan saved to %s\n", ctx.o.save_plan.c_str());
+  }
+}
+
 void run_method(Context& ctx, const std::string& method) {
   obs::StatsRegistry* stats =
       ctx.o.show_stats ? &obs::StatsRegistry::global() : nullptr;
@@ -523,7 +644,9 @@ int main(int argc, char** argv) {
     std::printf("in-core memory requirement: %s\n\n",
                 format_bytes(graph::incore_peak_bytes(ctx.g)).c_str());
 
-    if (o.method == "all") {
+    if (o.measured_profile) {
+      run_measured_profile(ctx);
+    } else if (o.method == "all") {
       for (const char* m : {"incore", "swap-all-naive", "swap-all",
                             "swap-opt", "superneurons", "vdnn", "sublinear",
                             "pooch"}) {
