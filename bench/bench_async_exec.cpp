@@ -44,6 +44,7 @@ struct Row {
   std::string model;
   std::string policy;
   int copy_workers = 1;
+  int compute_workers = 1;
   double inline_seconds = 0.0;
   double async_seconds = 0.0;
   double speedup = 0.0;
@@ -147,10 +148,12 @@ double time_inline(const Workload& w, const sim::Classification& c,
 /// AsyncExecutor (export time excluded — the stream is recorded once and
 /// reused, as a training loop would).
 double time_async(const Workload& w, const exec::OpStream& stream,
-                  int copy_workers, int reps) {
+                  int copy_workers, int compute_workers, int reps) {
   const exec::AsyncExecutor executor(w.g, stream);
   exec::AsyncOptions ao;
   ao.workers_per_copy_lane = copy_workers;
+  ao.compute_workers = compute_workers;
+  ao.time_model = w.tm.get();
   double best = 1e300;
   for (int rep = 0; rep < reps; ++rep) {
     sim::DataBackend data(w.g, kSeed);
@@ -210,20 +213,26 @@ void run_workload(Workload& w, int capacity_pct, int reps,
     }
     std::size_t swapped = 0;
     const double inline_s = time_inline(w, p.classes, reps, &swapped);
-    for (const int workers : {1, 2}) {
-      const double async_s = time_async(w, stream, workers, reps);
+    // The copy-worker sweep at serial compute (the PR-5 shape), then the
+    // compute-worker sweep at 2 copy workers: one axis moves at a time
+    // so regressions bisect cleanly.
+    const std::pair<int, int> sweep[] = {{1, 1}, {2, 1}, {2, 2}, {2, 4}};
+    for (const auto& [copy, compute] : sweep) {
+      const double async_s = time_async(w, stream, copy, compute, reps);
       Row r;
       r.model = w.name;
       r.policy = p.name;
-      r.copy_workers = workers;
+      r.copy_workers = copy;
+      r.compute_workers = compute;
       r.inline_seconds = inline_s;
       r.async_seconds = async_s;
       r.speedup = async_s > 0.0 ? inline_s / async_s : 0.0;
       r.swapped_bytes = swapped;
       rows.push_back(r);
-      std::printf("| %-10s | %-8s | %7d | %10.4f | %10.4f | %7.3f |\n",
+      std::printf("| %-10s | %-8s | %4d | %7d | %10.4f | %10.4f | %7.3f |\n",
                   r.model.c_str(), r.policy.c_str(), r.copy_workers,
-                  r.inline_seconds, r.async_seconds, r.speedup);
+                  r.compute_workers, r.inline_seconds, r.async_seconds,
+                  r.speedup);
     }
   }
 }
@@ -241,12 +250,13 @@ void write_json(const char* path, const std::vector<Row>& rows) {
     const Row& r = rows[i];
     std::fprintf(f,
                  "    {\"model\": \"%s\", \"policy\": \"%s\", "
-                 "\"copy_workers\": %d, \"inline_seconds\": %.6f, "
+                 "\"copy_workers\": %d, \"compute_workers\": %d, "
+                 "\"inline_seconds\": %.6f, "
                  "\"async_seconds\": %.6f, \"speedup\": %.3f, "
                  "\"swapped_bytes\": %zu}%s\n",
                  r.model.c_str(), r.policy.c_str(), r.copy_workers,
-                 r.inline_seconds, r.async_seconds, r.speedup,
-                 r.swapped_bytes, i + 1 < rows.size() ? "," : "");
+                 r.compute_workers, r.inline_seconds, r.async_seconds,
+                 r.speedup, r.swapped_bytes, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -254,10 +264,10 @@ void write_json(const char* path, const std::vector<Row>& rows) {
 }
 
 int run(const char* json_path) {
-  std::printf("| model      | policy   | workers | inline (s) | async (s)  "
-              "| speedup |\n"
-              "|------------|----------|---------|------------|------------"
-              "|---------|\n");
+  std::printf("| model      | policy   | copy | compute | inline (s) "
+              "| async (s)  | speedup |\n"
+              "|------------|----------|------|---------|------------"
+              "|------------|---------|\n");
   std::vector<Row> rows;
   // Small-resolution ResNet-50 and stock AlexNet: OOC once the device is
   // clamped to 60% of the keep-all peak, yet one real iteration stays in
@@ -268,6 +278,12 @@ int run(const char* json_path) {
   }
   {
     Workload w("alexnet", models::alexnet(8, 64));
+    run_workload(w, /*capacity_pct=*/60, /*reps=*/2, rows);
+  }
+  // Branchy workload: parallel inception branches are the case where
+  // multi-worker compute has independent ops to dispatch at all.
+  {
+    Workload w("inception", models::inception_toy(4, 32));
     run_workload(w, /*capacity_pct=*/60, /*reps=*/2, rows);
   }
   write_json(json_path, rows);

@@ -28,6 +28,13 @@
 //   shape regularizes individual measurements while the learned scale
 //   keeps the absolute level measured. Unobserved ops always get the
 //   scaled fallback, independent of blend.
+//
+// Besides pricing the planner's timeline simulations, this model is the
+// preferred priority source for the executor's multi-worker compute
+// dispatch (exec::AsyncOptions::time_model): critical-path priorities
+// computed from calibrated per-op times rank ready ops by how much
+// wall clock actually hangs off them, not by roofline guesses. The
+// measured pipeline wires it through automatically after a re-plan.
 #pragma once
 
 #include "graph/graph.hpp"

@@ -1,9 +1,15 @@
 // One-shot completion event for cross-thread op synchronization.
 //
-// The AsyncExecutor connects its compute thread and copy workers with one
-// Event per scheduled op: a kernel launch blocks only on the events of
-// the specific swap-ins it consumes, never on "the H2D stream" as a
+// The AsyncExecutor connects its compute workers and copy workers with
+// one Event per scheduled op: a kernel launch blocks only on the events
+// of the specific ops it consumes, never on "the H2D stream" as a
 // whole. This is the software analogue of cudaEvent + stream-wait.
+//
+// One-shot means one-shot: with several compute workers signalling
+// events concurrently, a double signal would mean two workers believed
+// they retired the same op — a scheduler bug that must not be papered
+// over by idempotence. signal() therefore POOCH_CHECKs that the event
+// was unset, and a moved-from event refuses both wait() and signal().
 //
 // Implementation: a single std::atomic<uint32_t> driven through C++20
 // atomic wait/notify, which libstdc++ lowers to a futex on Linux — no
@@ -16,6 +22,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/error.hpp"
+
 namespace pooch::exec {
 
 class Event {
@@ -25,28 +33,50 @@ class Event {
   Event(const Event&) = delete;
   Event& operator=(const Event&) = delete;
 
-  /// Mark the event complete and wake every waiter. Idempotent: extra
-  /// signals are harmless (the event is one-shot, it never un-fires).
+  /// Transfers the event's state; the source becomes moved-from and
+  /// will POOCH_CHECK on any further wait()/signal(). Only legal while
+  /// no thread is concurrently touching either event (vector growth
+  /// before workers start, never mid-run).
+  Event(Event&& other) noexcept
+      : state_(other.state_.load(std::memory_order_relaxed)) {
+    other.state_.store(kMoved, std::memory_order_relaxed);
+  }
+
+  /// Mark the event complete and wake every waiter. Strictly one-shot:
+  /// a second signal (or signalling a moved-from event) throws.
   void signal() {
-    state_.store(1, std::memory_order_release);
+    const std::uint32_t prev =
+        state_.exchange(kSignaled, std::memory_order_acq_rel);
+    POOCH_CHECK_MSG(prev == kUnset,
+                    (prev == kSignaled
+                         ? "Event::signal: double signal"
+                         : "Event::signal: event was moved from"));
     state_.notify_all();
   }
 
-  bool ready() const { return state_.load(std::memory_order_acquire) != 0; }
+  bool ready() const {
+    return state_.load(std::memory_order_acquire) == kSignaled;
+  }
 
   /// Block until signal(). Safe to call from any number of threads,
-  /// before or after the signal.
+  /// before or after the signal; throws on a moved-from event.
   void wait() const {
+    POOCH_CHECK_MSG(state_.load(std::memory_order_acquire) != kMoved,
+                    "Event::wait: event was moved from");
     // Bounded spin: most waits in a well-overlapped schedule are short.
     for (int i = 0; i < 128; ++i) {
       if (ready()) return;
     }
     // Futex-style sleep; loop because atomic wait may wake spuriously.
-    while (!ready()) state_.wait(0, std::memory_order_acquire);
+    while (!ready()) state_.wait(kUnset, std::memory_order_acquire);
   }
 
  private:
-  std::atomic<std::uint32_t> state_{0};
+  static constexpr std::uint32_t kUnset = 0;
+  static constexpr std::uint32_t kSignaled = 1;
+  static constexpr std::uint32_t kMoved = 2;
+
+  std::atomic<std::uint32_t> state_{kUnset};
 };
 
 }  // namespace pooch::exec

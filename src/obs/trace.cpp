@@ -228,6 +228,128 @@ std::string chrome_trace_json(const Graph& graph, const Timeline& tl,
   return chrome_trace(graph, tl, options).dump();
 }
 
+namespace {
+
+/// Track ids for the per-worker replay trace: workers of one lane are
+/// contiguous, lanes are spaced out so new workers never collide.
+int worker_tid(int lane, int worker) { return lane * 100 + worker; }
+
+bool replay_kind(exec::OpType type, OpKind& kind) {
+  switch (type) {
+    case exec::OpType::kForward: kind = OpKind::kForward; return true;
+    case exec::OpType::kBackward: kind = OpKind::kBackward; return true;
+    case exec::OpType::kRecompute: kind = OpKind::kRecompute; return true;
+    case exec::OpType::kUpdate: kind = OpKind::kUpdate; return true;
+    case exec::OpType::kSwapOut: kind = OpKind::kSwapOut; return true;
+    case exec::OpType::kSwapIn: kind = OpKind::kSwapIn; return true;
+    default: return false;  // begin/frees are bookkeeping
+  }
+}
+
+}  // namespace
+
+json::Value async_chrome_trace(const Graph& graph,
+                               const exec::OpStream& stream,
+                               const std::vector<exec::OpSpan>& spans,
+                               const TraceOptions& options) {
+  json::Array events;
+  events.push_back(meta_event(
+      "process_name", 0, {{"name", json::Value("pooch async replay")}}));
+
+  // One named track per (lane, worker) actually used by the replay.
+  const char* lane_names[exec::kNumLanes] = {"compute", "copy d2h",
+                                             "copy h2d"};
+  std::vector<std::pair<int, int>> tracks;  // (lane, worker)
+  for (const auto& span : spans) {
+    const std::pair<int, int> key{span.lane, span.worker};
+    if (std::find(tracks.begin(), tracks.end(), key) == tracks.end()) {
+      tracks.push_back(key);
+    }
+  }
+  std::sort(tracks.begin(), tracks.end());
+  std::vector<double> track_busy(tracks.size(), 0.0);
+  for (std::size_t t = 0; t < tracks.size(); ++t) {
+    const auto [lane, worker] = tracks[t];
+    const int tid = worker_tid(lane, worker);
+    const std::string name =
+        std::string(lane_names[lane]) + " w" + std::to_string(worker);
+    events.push_back(
+        meta_event("thread_name", tid, {{"name", json::Value(name)}}));
+    events.push_back(meta_event("thread_sort_index", tid,
+                                {{"sort_index", json::Value(tid)}}));
+  }
+
+  for (std::size_t i = 0; i < stream.ops.size(); ++i) {
+    const exec::StreamOp& op = stream.ops[i];
+    const exec::OpSpan& span = spans[i];
+    OpKind kind;
+    if (!replay_kind(op.type, kind)) continue;
+    OpRecord rec;
+    rec.kind = kind;
+    rec.node = op.node;
+    rec.value = op.value;
+    rec.start = span.start;
+    rec.end = span.end;
+    json::Object e;
+    e["ph"] = "X";
+    e["pid"] = 0;
+    e["tid"] = worker_tid(span.lane, span.worker);
+    e["cat"] = json::Value(sim::op_kind_name(kind));
+    e["name"] = json::Value(slice_name(graph, rec));
+    e["ts"] = json::Value(span.start * kToMicros);
+    e["dur"] = json::Value((span.end - span.start) * kToMicros);
+    e["cname"] = json::Value(slice_color(rec, options));
+    json::Object args = op_args(graph, rec, options);
+    args["op_index"] = json::Value(static_cast<std::int64_t>(i));
+    if (span.wait > 0.0) {
+      args["dep_wait_us"] = json::Value(span.wait * kToMicros);
+    }
+    e["args"] = json::Value(std::move(args));
+    events.push_back(json::Value(std::move(e)));
+    const auto t = std::find(tracks.begin(), tracks.end(),
+                             std::pair<int, int>{span.lane, span.worker});
+    track_busy[static_cast<std::size_t>(t - tracks.begin())] +=
+        span.end - span.start;
+  }
+
+  for (const auto& [seconds, label] : options.markers) {
+    json::Object m;
+    m["ph"] = "i";
+    m["s"] = "g";
+    m["pid"] = 0;
+    m["tid"] = worker_tid(exec::kComputeLane, 0);
+    m["cat"] = "calibration";
+    m["name"] = json::Value(label);
+    m["ts"] = json::Value(seconds * kToMicros);
+    events.push_back(json::Value(std::move(m)));
+  }
+
+  json::Object summary;
+  const char* lane_keys[exec::kNumLanes] = {"compute", "d2h", "h2d"};
+  for (std::size_t t = 0; t < tracks.size(); ++t) {
+    const auto [lane, worker] = tracks[t];
+    summary[std::string(lane_keys[lane]) + "_w" + std::to_string(worker) +
+            "_busy_s"] = json::Value(track_busy[t]);
+  }
+  summary["num_ops"] = json::Value(stream.ops.size());
+
+  json::Object root;
+  root["traceEvents"] = json::Value(std::move(events));
+  root["displayTimeUnit"] = "ms";
+  root["pooch"] = json::Value(std::move(summary));
+  return json::Value(std::move(root));
+}
+
+void write_async_chrome_trace(const std::string& path, const Graph& graph,
+                              const exec::OpStream& stream,
+                              const std::vector<exec::OpSpan>& spans,
+                              const TraceOptions& options) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw Error("cannot open trace file for writing: " + path);
+  f << async_chrome_trace(graph, stream, spans, options).dump() << "\n";
+  if (!f.good()) throw Error("failed writing trace file: " + path);
+}
+
 void write_chrome_trace(const std::string& path, const Graph& graph,
                         const Timeline& tl, const TraceOptions& options) {
   std::ofstream f(path, std::ios::binary | std::ios::trunc);

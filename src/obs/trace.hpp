@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/async_executor.hpp"
 #include "obs/json.hpp"
 #include "sim/plan.hpp"
 #include "sim/timeline.hpp"
@@ -49,5 +50,23 @@ std::string chrome_trace_json(const graph::Graph& graph,
 void write_chrome_trace(const std::string& path, const graph::Graph& graph,
                         const sim::Timeline& tl,
                         const TraceOptions& options = {});
+
+/// Trace of a real AsyncExecutor replay with one track per worker:
+/// "compute w0" … "compute wN-1", then one per copy-lane worker. Spans
+/// come from AsyncResult::spans (measured wall clock), so concurrent
+/// compute ops visibly overlap across the compute tracks; per-op args
+/// carry the dependency-wait time. Same envelope/schema as
+/// chrome_trace, with per-worker busy seconds in the "pooch" object.
+json::Value async_chrome_trace(const graph::Graph& graph,
+                               const exec::OpStream& stream,
+                               const std::vector<exec::OpSpan>& spans,
+                               const TraceOptions& options = {});
+
+/// async_chrome_trace() written to `path`; throws on I/O failure.
+void write_async_chrome_trace(const std::string& path,
+                              const graph::Graph& graph,
+                              const exec::OpStream& stream,
+                              const std::vector<exec::OpSpan>& spans,
+                              const TraceOptions& options = {});
 
 }  // namespace pooch::obs

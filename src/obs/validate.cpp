@@ -1,12 +1,14 @@
 #include "obs/validate.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <map>
 #include <sstream>
 
 #include "common/strings.hpp"
+#include "exec/schedule.hpp"
 
 namespace pooch::obs {
 
@@ -471,6 +473,15 @@ ValidationReport TimelineValidator::check_replay(
   std::map<NodeId, const std::vector<ValueId>*> needed_by_node;
   for (const auto& step : tape_) needed_by_node[step.node] = &step.needed;
 
+  // The full happens-before partial order, rederived here independently
+  // of whatever the executor dispatched on: recorded cross-lane edges
+  // unioned with every compute-lane RAW/WAR/WAW hazard over the
+  // value/grad/param/host slots. Under a multi-worker compute lane the
+  // recorded edges alone are vacuous-pass material — two concurrent
+  // readers never recorded an edge between themselves and a destructive
+  // move only recorded the *last* of them.
+  const exec::Schedule sched = exec::build_schedule(graph_, tape_, stream);
+
   // Well-formedness and dependency edges (exact, via sequence numbers;
   // wall times must agree up to clock monotonicity).
   for (std::size_t i = 0; i < spans.size(); ++i) {
@@ -482,7 +493,7 @@ ValidationReport TimelineValidator::check_replay(
     if (s.seq_end <= s.seq_start) {
       error("op " + std::to_string(i) + ": sequence numbers not increasing");
     }
-    for (std::int32_t d : stream.ops[i].deps) {
+    for (std::int32_t d : sched.deps[i]) {
       const exec::OpSpan& ds = spans[static_cast<std::size_t>(d)];
       if (ds.seq_end >= s.seq_start) {
         error("op " + std::to_string(i) + " started (seq " +
@@ -547,6 +558,11 @@ ValidationReport TimelineValidator::check_replay(
         break;
     }
   }
+  // Reads hold the value for the op's whole [seq_start, seq_end]
+  // window; record the interval so kills can be audited against every
+  // concurrent reader, not just the read's start instant.
+  std::vector<std::vector<std::array<std::uint64_t, 3>>> read_windows(
+      static_cast<std::size_t>(graph_.num_values()));
   auto check_read = [&](ValueId v, std::size_t reader, std::uint64_t at) {
     const ReplayHistory::EventRec* e = hist.latest_before(v, at);
     if (!e) {
@@ -556,6 +572,8 @@ ValidationReport TimelineValidator::check_replay(
       error("op " + std::to_string(reader) + " read v" + std::to_string(v) +
             " after op " + std::to_string(e->op) + " removed it");
     }
+    read_windows[static_cast<std::size_t>(v)].push_back(
+        {at, spans[reader].seq_end, static_cast<std::uint64_t>(reader)});
   };
   for (std::size_t i = 0; i < stream.ops.size(); ++i) {
     const exec::StreamOp& op = stream.ops[i];
@@ -583,6 +601,28 @@ ValidationReport TimelineValidator::check_replay(
         break;
       default:
         break;
+    }
+  }
+  // No kill may land inside a reader's window: a reader that *started*
+  // on a materialized value must also *finish* before a swap-out moves
+  // the buffer or a free drops it. This is exactly the hazard the
+  // recorded last-toucher edges miss once readers run concurrently.
+  for (std::size_t i = 0; i < stream.ops.size(); ++i) {
+    const exec::StreamOp& op = stream.ops[i];
+    if (op.type != exec::OpType::kSwapOut &&
+        op.type != exec::OpType::kFreeValue) {
+      continue;
+    }
+    const std::uint64_t kill = spans[i].seq_start;
+    for (const auto& w : read_windows[static_cast<std::size_t>(op.value)]) {
+      if (w[2] == i) continue;  // a swap-out's own read
+      if (w[0] < kill && kill < w[1]) {
+        error("op " + std::to_string(i) + " removed v" +
+              std::to_string(op.value) + " (seq " + std::to_string(kill) +
+              ") while op " + std::to_string(w[2]) +
+              " was still reading it (seq [" + std::to_string(w[0]) + ", " +
+              std::to_string(w[1]) + "])");
+      }
     }
   }
   return rep;

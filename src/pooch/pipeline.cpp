@@ -188,6 +188,9 @@ MeasuredPipelineResult run_pooch_measured(
   sim::Runtime gt_runtime(graph, tape, machine, ground_truth);
   profile::MeasureOptions mo = options.measure;
   mo.stats = stats;
+  // Priorities for the multi-worker compute dispatch: the plan's own
+  // time model (replaced by the calibrated model after a re-plan).
+  if (!mo.time_model) mo.time_model = &ground_truth;
   std::vector<exec::AsyncResult> session_runs;
   if (options.collect_session_timeline) mo.keep_runs = &session_runs;
 
@@ -256,6 +259,9 @@ MeasuredPipelineResult run_pooch_measured(
       }
       out.final_plan = replanned;
       stream = record_plan_stream(*cal_runtime, out.final_plan, {});
+      if (options.measure.time_model == nullptr) {
+        mo.time_model = model.get();  // calibrated priorities from here on
+      }
       out.measured = profile::measure_op_stream(graph, stream, data, mo,
                                                 next_iteration);
       next_iteration += static_cast<std::uint64_t>(mo.warmup_iterations +

@@ -12,7 +12,10 @@
 #include "common/logging.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
+#include "exec/op_stream.hpp"
+#include "exec/schedule.hpp"
 #include "obs/stats.hpp"
+#include "sim/multilane.hpp"
 
 namespace pooch::planner {
 
@@ -102,6 +105,8 @@ PoochPlanner::PoochPlanner(const Graph& graph,
   int threads = options_.threads == 0 ? ThreadPool::hardware_threads()
                                       : options_.threads;
   POOCH_CHECK_MSG(threads >= 0, "negative planner thread count");
+  POOCH_CHECK_MSG(options_.compute_workers >= 1,
+                  "PlannerOptions::compute_workers must be >= 1");
   // Concurrent queries of an order-dependent time model (profiling
   // noise) would neither be safe nor mean anything; plan sequentially.
   if (!time_model.concurrent_safe()) threads = 1;
@@ -129,6 +134,12 @@ PoochPlanner::Eval PoochPlanner::simulate(const Classification& classes,
   sim::RunOptions ro;
   ro.swapin_policy = options_.policy;
   ro.record_timeline = false;
+  // With a multi-worker compute target, export the candidate's op
+  // stream and re-price it under the executor's dependency-counted
+  // dispatch; the serial run still decides feasibility (memory) while
+  // the multi-lane makespan decides time.
+  exec::OpStream stream;
+  if (options_.compute_workers > 1) ro.export_stream = &stream;
   const sim::RunResult r =
       (unbounded ? unbounded_runtime_ : runtime_).run(classes, ro);
   ctx.sims.fetch_add(1, std::memory_order_relaxed);
@@ -136,6 +147,14 @@ PoochPlanner::Eval PoochPlanner::simulate(const Classification& classes,
   e.feasible = r.ok;
   e.time = r.iteration_time;
   e.peak = r.peak_bytes;
+  if (options_.compute_workers > 1 && r.ok) {
+    const exec::Schedule sched =
+        exec::build_schedule(graph_, tape_, stream, &tm_);
+    sim::MultiLaneOptions mo;
+    mo.compute_workers = options_.compute_workers;
+    mo.time_model = &tm_;
+    e.time = sim::simulate_multilane(stream, sched, mo).makespan;
+  }
   return e;
 }
 

@@ -67,6 +67,14 @@ struct PlannerOptions {
   /// order; planning against a slightly smaller device keeps the chosen
   /// classification feasible under that jitter.
   double memory_safety_margin = 0.03;
+  /// Compute workers the eventual executor will run with
+  /// (exec::AsyncOptions::compute_workers). At 1 the classifier prices
+  /// candidates with the serial-compute timeline simulation, exactly as
+  /// before. Above 1 each candidate's exported op stream is re-priced
+  /// by sim::simulate_multilane under the same dependency-counted
+  /// multi-worker dispatch the executor uses, so the chosen plan
+  /// optimizes the schedule that will actually run.
+  int compute_workers = 1;
   /// Parallelism of the candidate-evaluation fan-out: 1 = sequential,
   /// 0 = one thread per hardware core, N = exactly N threads. The
   /// chosen plan is bit-identical at every setting. Forced to 1 when

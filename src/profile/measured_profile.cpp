@@ -166,7 +166,9 @@ MeasuredProfile measure_op_stream(const graph::Graph& graph,
   exec::OpStream run_stream = stream;
   const exec::AsyncExecutor executor(graph, run_stream);
   exec::AsyncOptions ao;
+  ao.compute_workers = options.compute_workers;
   ao.workers_per_copy_lane = options.copy_workers;
+  ao.time_model = options.time_model;
   ao.stats = options.stats;
 
   const int total = options.warmup_iterations + options.iterations;

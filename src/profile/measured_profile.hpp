@@ -43,6 +43,14 @@ struct MeasureOptions {
   double outlier_factor = 3.0;
   /// Copy workers per transfer lane for the measuring runs.
   int copy_workers = 1;
+  /// Compute workers for the measuring runs
+  /// (exec::AsyncOptions::compute_workers). Spans are stamped with the
+  /// worker that ran them either way; durations stay pure execution
+  /// time because OpSpan::start is taken after the dependency waits.
+  int compute_workers = 1;
+  /// Priority source for the multi-worker dispatch (null = critical
+  /// path over the recorded simulated spans).
+  const sim::TimeModel* time_model = nullptr;
   /// Metrics sink (calibration.* counters/gauges).
   obs::StatsRegistry* stats = nullptr;
   /// When set, every executed run's AsyncResult (warm-up runs included)

@@ -78,7 +78,23 @@ DataBackend::DataBackend(const Graph& graph, std::uint64_t seed, float lr,
   }
 }
 
+thread_local const DataBackend* DataBackend::tls_backend_ = nullptr;
+thread_local kernels::KernelContext* DataBackend::tls_ctx_ = nullptr;
+
+DataBackend::ThreadContextGuard::ThreadContextGuard(
+    const DataBackend& backend, kernels::KernelContext* ctx)
+    : prev_backend_(tls_backend_), prev_ctx_(tls_ctx_) {
+  tls_backend_ = &backend;
+  tls_ctx_ = ctx;
+}
+
+DataBackend::ThreadContextGuard::~ThreadContextGuard() {
+  tls_backend_ = prev_backend_;
+  tls_ctx_ = prev_ctx_;
+}
+
 kernels::KernelContext& DataBackend::kctx() const {
+  if (tls_backend_ == this && tls_ctx_) return *tls_ctx_;
   return ctx_ ? *ctx_ : kernels::KernelContext::serial();
 }
 

@@ -32,6 +32,26 @@ class DataBackend {
               float learning_rate = 0.01f,
               kernels::KernelContext* ctx = nullptr);
 
+  /// RAII override routing the *current thread's* kernel calls on
+  /// `backend` through `ctx` instead of the constructor-attached
+  /// context. The AsyncExecutor installs one per compute worker so
+  /// concurrent kernels never share scratch arenas (a context's
+  /// per-slot buffers are private to one running kernel). Other
+  /// threads — and this thread once the guard dies — are unaffected.
+  /// Bit-exact kernels make the routing invisible in the numerics.
+  class ThreadContextGuard {
+   public:
+    ThreadContextGuard(const DataBackend& backend,
+                       kernels::KernelContext* ctx);
+    ~ThreadContextGuard();
+    ThreadContextGuard(const ThreadContextGuard&) = delete;
+    ThreadContextGuard& operator=(const ThreadContextGuard&) = delete;
+
+   private:
+    const DataBackend* prev_backend_;
+    kernels::KernelContext* prev_ctx_;
+  };
+
   // --- ops invoked by the runtime in program order ---
   /// Re-installs the input batch (mirrors the per-iteration H2D upload of
   /// training data); called by the runtime at the start of every run.
@@ -65,6 +85,10 @@ class DataBackend {
   const graph::Graph& graph_;
   float lr_;
   kernels::KernelContext* ctx_ = nullptr;  // not owned; null = serial
+  // Per-thread context override (see ThreadContextGuard). Keyed by
+  // backend so a guard on one backend never leaks into another.
+  static thread_local const DataBackend* tls_backend_;
+  static thread_local kernels::KernelContext* tls_ctx_;
   std::vector<Tensor> input_batch_;  // pristine per-iteration inputs
   std::vector<Tensor> values_;       // device feature maps
   std::vector<Tensor> host_;         // swapped-out host copies

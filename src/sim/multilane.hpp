@@ -1,0 +1,65 @@
+// Multi-lane list-scheduling model of the AsyncExecutor.
+//
+// The discrete-event Runtime simulates one compute stream plus one copy
+// stream per direction — exactly what the serial executor replays. Once
+// the executor schedules N compute workers, the planner needs a model
+// of *that* machine, or it will price keep/swap/recompute trade-offs
+// against a schedule nobody runs. simulate_multilane replays an
+// exported OpStream through the same dependency-counted, critical-path
+//-priority dispatch the executor uses — same hazard edges
+// (exec::build_schedule), same deterministic tie-breaks, k workers per
+// lane — with op durations priced by a TimeModel instead of measured.
+//
+// It is a deterministic function of (stream, worker counts, time
+// model): the planner can call it from concurrent candidate
+// evaluations whenever the time model is concurrent_safe().
+#pragma once
+
+#include "exec/op_stream.hpp"
+#include "exec/schedule.hpp"
+#include "graph/autodiff.hpp"
+#include "graph/graph.hpp"
+#include "sim/timeline.hpp"
+
+namespace pooch::sim {
+
+class TimeModel;
+
+struct MultiLaneOptions {
+  int compute_workers = 1;
+  int copy_workers_per_lane = 1;
+  /// Prices op durations and the dispatch priorities; null falls back
+  /// to the simulated spans baked into the stream at export time.
+  const TimeModel* time_model = nullptr;
+  /// Record per-op spans into MultiLaneResult::timeline (costs memory;
+  /// the planner's inner loop only needs the makespan).
+  bool record_timeline = false;
+};
+
+struct MultiLaneResult {
+  /// Predicted wall clock of one replay of the stream.
+  double makespan = 0.0;
+  /// Longest dependency chain — the bound no worker count beats.
+  double critical_path_seconds = 0.0;
+  double lane_busy[exec::kNumLanes] = {};
+  /// Predicted spans (only when record_timeline); worker assignment is
+  /// encoded like the executor's trace: one lane per (lane, worker).
+  Timeline timeline;
+};
+
+/// Predict the executor's schedule for `stream`. `schedule` is the
+/// hazard topology from exec::build_schedule for this stream (pass the
+/// executor's, or build one — only deps/succs are read, costs are
+/// re-priced here under options.time_model).
+MultiLaneResult simulate_multilane(const exec::OpStream& stream,
+                                   const exec::Schedule& schedule,
+                                   const MultiLaneOptions& options);
+
+/// Convenience overload that builds the hazard schedule internally
+/// (`tape` must be the backward tape of `graph`).
+MultiLaneResult simulate_multilane(const graph::Graph& graph,
+                                   const std::vector<graph::BwdStep>& tape,
+                                   const exec::OpStream& stream,
+                                   const MultiLaneOptions& options);
+
+}  // namespace pooch::sim

@@ -10,6 +10,7 @@
 // the recorded edges).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -17,12 +18,15 @@
 #include "exec/async_executor.hpp"
 #include "exec/event.hpp"
 #include "exec/op_stream.hpp"
+#include "exec/schedule.hpp"
 #include "graph/autodiff.hpp"
 #include "mem/host_pool.hpp"
 #include "models/models.hpp"
+#include "obs/stats.hpp"
 #include "obs/validate.hpp"
 #include "pooch/pipeline.hpp"
 #include "pooch/planner.hpp"
+#include "sim/multilane.hpp"
 #include "sim/runtime.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "testing_util.hpp"
@@ -83,7 +87,9 @@ std::unique_ptr<DataBackend> serial_reference(const AsyncEnv& env,
 /// ordering oracle on the measured spans.
 std::unique_ptr<DataBackend> async_replay(const AsyncEnv& env,
                                           const Classification& classes,
-                                          int workers, RunOptions ro = {},
+                                          int copy_workers,
+                                          int compute_workers = 1,
+                                          RunOptions ro = {},
                                           int iterations = 1) {
   auto backend = std::make_unique<DataBackend>(env.g, kSeed);
   const obs::TimelineValidator validator(env.g, env.tape);
@@ -97,7 +103,9 @@ std::unique_ptr<DataBackend> async_replay(const AsyncEnv& env,
         << structural.front();
     const exec::AsyncExecutor executor(env.g, stream);
     exec::AsyncOptions ao;
-    ao.workers_per_copy_lane = workers;
+    ao.workers_per_copy_lane = copy_workers;
+    ao.compute_workers = compute_workers;
+    ao.time_model = env.tm.get();
     const exec::AsyncResult res = executor.run(*backend, ao);
     EXPECT_TRUE(res.ok) << res.failure;
     const auto oracle = validator.check_replay(stream, res.spans);
@@ -114,8 +122,36 @@ TEST(AsyncExecEvent, SignalBeforeWaitReturnsImmediately) {
   e.signal();
   EXPECT_TRUE(e.ready());
   e.wait();  // must not block
-  e.signal();  // idempotent
   EXPECT_TRUE(e.ready());
+}
+
+TEST(AsyncExecEvent, DoubleSignalThrows) {
+  // One-shot means one-shot: with several compute workers retiring ops,
+  // a second signal would mean two workers completed the same op.
+  exec::Event e;
+  e.signal();
+  EXPECT_THROW(e.signal(), pooch::Error);
+  EXPECT_TRUE(e.ready());  // the first signal still stands
+}
+
+TEST(AsyncExecEvent, MovedFromEventRefusesUse) {
+  exec::Event src;
+  exec::Event dst(std::move(src));
+  EXPECT_THROW(src.wait(), pooch::Error);
+  EXPECT_THROW(src.signal(), pooch::Error);
+  // The destination carries the (unset) state and works normally.
+  EXPECT_FALSE(dst.ready());
+  dst.signal();
+  EXPECT_TRUE(dst.ready());
+}
+
+TEST(AsyncExecEvent, MoveTransfersSignaledState) {
+  exec::Event src;
+  src.signal();
+  exec::Event dst(std::move(src));
+  EXPECT_TRUE(dst.ready());
+  dst.wait();  // must not block
+  EXPECT_THROW(src.wait(), pooch::Error);
 }
 
 TEST(AsyncExecEvent, WaitBlocksUntilCrossThreadSignal) {
@@ -295,8 +331,8 @@ TEST(AsyncExecDifferential, MultiIterationTrajectoryBitIdentical) {
   const auto ref = serial_reference(env, /*iterations=*/3);
   for (const int workers : {1, 2}) {
     const auto async = async_replay(
-        tight, Classification(tight.g, ValueClass::kSwap), workers, {},
-        /*iterations=*/3);
+        tight, Classification(tight.g, ValueClass::kSwap), workers,
+        /*compute_workers=*/workers, {}, /*iterations=*/3);
     expect_bit_identical(tight.g, *ref, *async,
                          "3 iterations, workers " + std::to_string(workers));
   }
@@ -382,6 +418,226 @@ TEST(AsyncExecOracle, FlagsFabricatedDependencyViolation) {
   }
   ASSERT_TRUE(corrupted);
   EXPECT_FALSE(validator.check_replay(stream, res.spans).ok());
+}
+
+// ---- multi-worker compute scheduling (exec/schedule.hpp) -------------
+
+TEST(AsyncSchedSchedule, HazardEdgesSupersetTopologicalAndPriced) {
+  AsyncEnv env(models::small_cnn(2, 16), 8192);
+  const exec::OpStream stream = planner::record_op_stream(
+      *env.rt, Classification(env.g, ValueClass::kSwap));
+  const exec::Schedule sched =
+      exec::build_schedule(env.g, env.tape, stream, env.tm.get());
+  ASSERT_EQ(sched.size(), stream.ops.size());
+  int hazard_only_edges = 0;
+  double max_priority = 0.0;
+  for (std::size_t i = 0; i < stream.ops.size(); ++i) {
+    const auto& deps = sched.deps[i];
+    for (const std::int32_t d : deps) {
+      // Strictly earlier ops only: the dependency graph is a DAG by
+      // construction, which is the whole deadlock-freedom argument.
+      EXPECT_LT(d, static_cast<std::int32_t>(i)) << "op " << i;
+      if (std::find(stream.ops[i].deps.begin(), stream.ops[i].deps.end(),
+                    d) == stream.ops[i].deps.end()) {
+        ++hazard_only_edges;
+      }
+    }
+    for (const std::int32_t d : stream.ops[i].deps) {
+      EXPECT_TRUE(std::find(deps.begin(), deps.end(), d) != deps.end())
+          << "recorded edge " << d << " -> " << i
+          << " missing from the hazard schedule";
+    }
+    EXPECT_GE(sched.priority[i], sched.cost[i] - 1e-12) << "op " << i;
+    max_priority = std::max(max_priority, sched.priority[i]);
+  }
+  // The recorder only stores cross-lane edges (same-lane order was
+  // implicit while compute was serial); hazard analysis must make the
+  // compute-compute edges explicit.
+  EXPECT_GT(hazard_only_edges, 0);
+  EXPECT_DOUBLE_EQ(sched.critical_path_seconds, max_priority);
+}
+
+TEST(AsyncSchedSim, MultiLaneMakespanBoundsAndDeterminism) {
+  AsyncEnv env(models::small_cnn(2, 16), 8192);
+  const exec::OpStream stream = planner::record_op_stream(
+      *env.rt, Classification(env.g, ValueClass::kSwap));
+  const exec::Schedule sched =
+      exec::build_schedule(env.g, env.tape, stream, env.tm.get());
+  double total_cost = 0.0;
+  for (const double c : sched.cost) total_cost += c;
+  double prev_makespan = 0.0;
+  for (const int compute : {1, 2, 4}) {
+    sim::MultiLaneOptions mo;
+    mo.compute_workers = compute;
+    mo.time_model = env.tm.get();
+    const sim::MultiLaneResult a = sim::simulate_multilane(stream, sched, mo);
+    const sim::MultiLaneResult b = sim::simulate_multilane(stream, sched, mo);
+    EXPECT_DOUBLE_EQ(a.makespan, b.makespan) << "non-deterministic sim";
+    // List scheduling never beats the critical path and never idles all
+    // lanes while work remains, so makespan sits between the two bounds.
+    EXPECT_GE(a.makespan, sched.critical_path_seconds - 1e-12);
+    EXPECT_LE(a.makespan, total_cost + 1e-9);
+    EXPECT_DOUBLE_EQ(a.critical_path_seconds, sched.critical_path_seconds);
+    if (compute == 1) prev_makespan = a.makespan;
+  }
+  EXPECT_GT(prev_makespan, 0.0);
+}
+
+TEST(AsyncSchedOracle, FlagsHazardOnlyEdgeViolation) {
+  AsyncEnv env(models::small_cnn(2, 16), 8192);
+  const exec::OpStream stream = planner::record_op_stream(
+      *env.rt, Classification(env.g, ValueClass::kSwap));
+  DataBackend backend(env.g, kSeed);
+  const exec::AsyncExecutor executor(env.g, stream);
+  auto res = executor.run(backend, {});
+  ASSERT_TRUE(res.ok) << res.failure;
+  const obs::TimelineValidator validator(env.g, env.tape);
+  ASSERT_TRUE(validator.check_replay(stream, res.spans).ok());
+
+  // Corrupt a span across an edge only the hazard analysis knows about
+  // (present in the executor's schedule, absent from the recorded
+  // stream): the oracle rederives the partial order, so it must still
+  // notice.
+  const exec::Schedule& sched = executor.schedule();
+  bool corrupted = false;
+  for (std::size_t i = 0; i < stream.ops.size() && !corrupted; ++i) {
+    for (const std::int32_t d : sched.deps[i]) {
+      if (std::find(stream.ops[i].deps.begin(), stream.ops[i].deps.end(),
+                    d) != stream.ops[i].deps.end()) {
+        continue;
+      }
+      res.spans[i].seq_start =
+          res.spans[static_cast<std::size_t>(d)].seq_end;  // tie = violation
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "no hazard-only edge in the schedule";
+  EXPECT_FALSE(validator.check_replay(stream, res.spans).ok());
+}
+
+TEST(AsyncSchedOracle, FlagsKillInsideReaderWindow) {
+  AsyncEnv env(models::small_cnn(2, 16), 8192);
+  const exec::OpStream stream = planner::record_op_stream(
+      *env.rt, Classification(env.g, ValueClass::kSwap));
+  DataBackend backend(env.g, kSeed);
+  const exec::AsyncExecutor executor(env.g, stream);
+  auto res = executor.run(backend, {});
+  ASSERT_TRUE(res.ok) << res.failure;
+  const obs::TimelineValidator validator(env.g, env.tape);
+  ASSERT_TRUE(validator.check_replay(stream, res.spans).ok());
+
+  // Stretch a forward reader's window over the swap-out that kills one
+  // of its inputs — the exact interleaving a missed WAR edge would
+  // produce under concurrent compute.
+  bool corrupted = false;
+  for (std::size_t k = 0; k < stream.ops.size() && !corrupted; ++k) {
+    if (stream.ops[k].type != exec::OpType::kSwapOut) continue;
+    const graph::ValueId v = stream.ops[k].value;
+    for (std::size_t i = 0; i < k && !corrupted; ++i) {
+      if (stream.ops[i].type != exec::OpType::kForward) continue;
+      const auto& inputs =
+          env.g.nodes()[static_cast<std::size_t>(stream.ops[i].node)].inputs;
+      if (std::find(inputs.begin(), inputs.end(), v) == inputs.end()) {
+        continue;
+      }
+      res.spans[i].seq_end = res.spans[k].seq_start + 1;
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "no swap-out with an earlier forward reader";
+  const auto rep = validator.check_replay(stream, res.spans);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_NE(rep.to_string().find("was still reading"), std::string::npos)
+      << rep.to_string();
+}
+
+// ---- the multi-worker differential corpus ----------------------------
+
+TEST(AsyncSchedDifferential, ComputeWorkerCorpusBitIdenticalAllPolicies) {
+  int planner_covered = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    AsyncEnv roomy(testing::random_graph(seed), 8192);
+    const auto ref = serial_reference(roomy);
+    const auto keep = roomy.rt->run(Classification(roomy.g, ValueClass::kKeep));
+    ASSERT_TRUE(keep.ok);
+
+    std::unique_ptr<AsyncEnv> tight;
+    for (const std::size_t pct : {70, 80, 90, 100}) {
+      auto candidate = std::make_unique<AsyncEnv>(
+          testing::random_graph(seed),
+          std::max<std::size_t>(1, keep.peak_bytes * pct / 100 / kMiB + 1),
+          1.0);
+      if (candidate->rt
+              ->run(Classification(candidate->g, ValueClass::kSwap))
+              .ok) {
+        tight = std::move(candidate);
+        break;
+      }
+    }
+    ASSERT_TRUE(tight) << "seed " << seed
+                       << ": swap-all infeasible even at full keep peak";
+    planner::PoochPlanner planner(tight->g, tight->tape, tight->machine,
+                                  *tight->tm);
+    const auto plan = planner.plan();
+
+    for (const int compute : {1, 2, 4, 8}) {
+      for (const int copy : {1, 2}) {
+        const std::string tag = "seed " + std::to_string(seed) + " compute " +
+                                std::to_string(compute) + " copy " +
+                                std::to_string(copy);
+        const auto keep_async =
+            async_replay(roomy, Classification(roomy.g, ValueClass::kKeep),
+                         copy, compute);
+        expect_bit_identical(roomy.g, *ref, *keep_async, tag + " keep-all");
+        const auto swap_async =
+            async_replay(*tight, Classification(tight->g, ValueClass::kSwap),
+                         copy, compute);
+        expect_bit_identical(tight->g, *ref, *swap_async, tag + " swap-all");
+        if (plan.feasible) {
+          const auto hybrid_async =
+              async_replay(*tight, plan.classes, copy, compute);
+          expect_bit_identical(tight->g, *ref, *hybrid_async,
+                               tag + " planner-hybrid");
+        }
+      }
+    }
+    if (plan.feasible) ++planner_covered;
+  }
+  EXPECT_GT(planner_covered, 0) << "planner hybrid never feasible on corpus";
+}
+
+TEST(AsyncSchedStats, PublishesSchedulerMetricsAndWorkerSpans) {
+  AsyncEnv env(models::small_cnn(2, 16), 8192);
+  const exec::OpStream stream = planner::record_op_stream(
+      *env.rt, Classification(env.g, ValueClass::kSwap));
+  DataBackend backend(env.g, kSeed);
+  obs::StatsRegistry stats;
+  const exec::AsyncExecutor executor(env.g, stream);
+  exec::AsyncOptions ao;
+  ao.compute_workers = 2;
+  ao.time_model = env.tm.get();
+  ao.stats = &stats;
+  const auto res = executor.run(backend, ao);
+  ASSERT_TRUE(res.ok) << res.failure;
+
+  EXPECT_EQ(stats.gauge("exec.sched.compute_workers").value(), 2.0);
+  EXPECT_GT(stats.gauge("exec.sched.critical_path_seconds").value(), 0.0);
+  EXPECT_GE(stats.gauge("exec.sched.ready_peak").value(), 1.0);
+  EXPECT_GT(stats.gauge("exec.sched.worker0.busy_ns").value(), 0.0);
+  ASSERT_EQ(res.compute_worker_busy.size(), 2u);
+  EXPECT_GT(res.critical_path_seconds, 0.0);
+  EXPECT_GE(res.ready_peak, 1);
+  // Every compute span names a worker in range; together they cover all
+  // compute ops.
+  std::size_t compute_spans = 0;
+  for (std::size_t i = 0; i < stream.ops.size(); ++i) {
+    if (res.spans[i].lane != exec::kComputeLane) continue;
+    ++compute_spans;
+    EXPECT_GE(res.spans[i].worker, 0);
+    EXPECT_LT(res.spans[i].worker, 2);
+  }
+  EXPECT_GT(compute_spans, 0u);
 }
 
 }  // namespace

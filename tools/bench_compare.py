@@ -8,9 +8,12 @@ Supports the repo's bench JSON convention `{"bench": <name>, "rows": [...]}`:
 
     kernels      rows keyed on (kernel, shape, threads), metric `gflops`
                  (higher is better);
-    async_exec   rows keyed on (model, policy, copy_workers), metric
-                 `speedup` = inline_seconds / async_seconds (higher is
-                 better — a drop means the executor lost overlap);
+    async_exec   rows keyed on (model, policy, copy_workers,
+                 compute_workers), metric `speedup` = inline_seconds /
+                 async_seconds (higher is better — a drop means the
+                 executor lost overlap); compute_workers defaults to 1
+                 so baselines predating the multi-worker scheduler
+                 still parse;
     calibration  rows keyed on (model,), metric `calibrated_error` =
                  |calibrated_predicted - observed| / observed (LOWER is
                  better — a rise means the measured time model lost
@@ -34,8 +37,15 @@ import sys
 # direction: "higher" = drops regress, "lower" = rises regress.
 SCHEMAS = {
     "kernels": (("kernel", "shape", "threads"), "gflops", "higher"),
-    "async_exec": (("model", "policy", "copy_workers"), "speedup", "higher"),
+    "async_exec": (("model", "policy", "copy_workers", "compute_workers"),
+                   "speedup", "higher"),
     "calibration": (("model",), "calibrated_error", "lower"),
+}
+
+# Key fields that may be absent in older baselines, with the value the
+# bench used implicitly back then. Everything else is required.
+OPTIONAL_KEY_DEFAULTS = {
+    "compute_workers": 1,  # scheduler was serial before the key existed
 }
 
 
@@ -57,8 +67,12 @@ def load(path):
         sys.exit(f"error: {path}: unknown bench kind '{kind}' "
                  f"(known: {', '.join(SCHEMAS)})")
     key_fields, metric, direction = SCHEMAS[kind]
-    return kind, metric, direction, \
-        {tuple(r[k] for k in key_fields): r for r in rows}
+
+    def key_of(r):
+        return tuple(r[k] if k in r else OPTIONAL_KEY_DEFAULTS[k]
+                     for k in key_fields)
+
+    return kind, metric, direction, {key_of(r): r for r in rows}
 
 
 def compare(base, cand, metric, direction, tolerance, out=sys.stdout):

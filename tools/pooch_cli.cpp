@@ -46,6 +46,7 @@ struct CliOptions {
   int kernel_threads = 0;      // >0: execute real kernels on N threads
   bool async_exec = false;     // replay the schedule through AsyncExecutor
   int copy_workers = 1;        // H2D/D2H worker threads per copy lane
+  int compute_workers = 1;     // compute worker threads (async executor)
   bool measured_profile = false;  // run the measured calibration loop
   int calibration_iters = 3;      // measured iterations per round (k)
   int calibration_warmup = 1;     // unrecorded warm-up iterations
@@ -92,13 +93,19 @@ void usage() {
       "                  on mismatch\n"
       "  --async-exec    export the method's schedule as a replayable op\n"
       "                  stream and execute it through the asynchronous\n"
-      "                  out-of-core executor (one compute thread plus\n"
+      "                  out-of-core executor (compute workers plus\n"
       "                  dedicated H2D/D2H copy workers). Verifies the\n"
       "                  result bit-identical to a serial in-core\n"
       "                  reference; nonzero exit on mismatch\n"
       "  --copy-workers N\n"
       "                  copy worker threads per transfer lane for\n"
       "                  --async-exec (default 1)\n"
+      "  --compute-workers N\n"
+      "                  compute worker threads for --async-exec and\n"
+      "                  --measured-profile (default 1 = serial program\n"
+      "                  order). Above 1, ready ops are dispatched by\n"
+      "                  critical-path priority over the hazard-derived\n"
+      "                  dependency DAG; results stay bit-identical\n"
       "  --measured-profile\n"
       "                  close the profiling loop: plan on the analytic\n"
       "                  model, execute the plan for real through the\n"
@@ -182,6 +189,8 @@ bool parse_args(int argc, char** argv, CliOptions& o) {
       o.async_exec = true;
     } else if (a == "--copy-workers" && (v = need_value(i))) {
       o.copy_workers = std::atoi(v);
+    } else if (a == "--compute-workers" && (v = need_value(i))) {
+      o.compute_workers = std::atoi(v);
     } else if (a == "--measured-profile") {
       o.measured_profile = true;
     } else if (a == "--calibration-iters" && (v = need_value(i))) {
@@ -301,6 +310,8 @@ void run_async_exec(Context& ctx, const char* name,
   const exec::AsyncExecutor executor(ctx.g, stream);
   exec::AsyncOptions ao;
   ao.workers_per_copy_lane = ctx.o.copy_workers;
+  ao.compute_workers = ctx.o.compute_workers;
+  ao.time_model = ctx.hardware.get();
   ao.stats = ctx.o.show_stats ? &obs::StatsRegistry::global() : nullptr;
   const exec::AsyncResult res = executor.run(data, ao);
   if (!res.ok) {
@@ -308,6 +319,19 @@ void run_async_exec(Context& ctx, const char* name,
                  res.failure.c_str());
     ctx.exit_status = 1;
     return;
+  }
+  if (ctx.o.validate) {
+    const obs::TimelineValidator validator(ctx.g, ctx.tape);
+    const auto rep = validator.check_replay(stream, res.spans);
+    if (rep.ok()) {
+      std::printf("%-16s async replay respects the dependency partial "
+                  "order (%zu ops)\n",
+                  "", stream.ops.size());
+    } else {
+      std::fprintf(stderr, "%s: async replay order INVALID\n%s", name,
+                   rep.to_string().c_str());
+      ctx.exit_status = 1;
+    }
   }
 
   // The reference must never (simulated-)OOM, so give it a machine that
@@ -327,9 +351,10 @@ void run_async_exec(Context& ctx, const char* name,
   const float want = ref.loss();
   const bool same = rr.ok && std::memcmp(&got, &want, sizeof(float)) == 0 &&
                     data.param_norm() == ref.param_norm();
-  std::printf("%-16s async exec, %d copy worker(s)/lane: wall %s   "
+  std::printf("%-16s async exec, %d compute / %d copy worker(s): wall %s   "
               "compute busy %s wait %s   H2D busy %s   D2H busy %s\n",
-              "", ctx.o.copy_workers, format_time(res.wall_seconds).c_str(),
+              "", ctx.o.compute_workers, ctx.o.copy_workers,
+              format_time(res.wall_seconds).c_str(),
               format_time(res.lane_busy[exec::kComputeLane]).c_str(),
               format_time(res.lane_wait[exec::kComputeLane]).c_str(),
               format_time(res.lane_busy[exec::kH2DLane]).c_str(),
@@ -341,7 +366,7 @@ void run_async_exec(Context& ctx, const char* name,
   if (!ctx.o.trace.empty()) {
     const std::string path =
         with_infix(trace_path_for(ctx.o, name), "async");
-    obs::write_chrome_trace(path, ctx.g, res.timeline, {});
+    obs::write_async_chrome_trace(path, ctx.g, stream, res.spans, {});
     std::printf("%-16s async trace written to %s\n", "", path.c_str());
   }
 }
@@ -431,6 +456,7 @@ void run_measured_profile(Context& ctx) {
   mo.measure.iterations = ctx.o.calibration_iters;
   mo.measure.warmup_iterations = ctx.o.calibration_warmup;
   mo.measure.copy_workers = ctx.o.copy_workers;
+  mo.measure.compute_workers = ctx.o.compute_workers;
   mo.measure.stats = stats;
   mo.calibrate.blend = ctx.o.blend;
   mo.calibrate.inject_drift = ctx.o.inject_drift;

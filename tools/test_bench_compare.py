@@ -103,6 +103,41 @@ def test_kind_mismatch_is_error():
         assert "mismatch" in r.stderr, r.stderr
 
 
+def async_exec_doc(speedup, compute_workers=None):
+    row = {"model": "alexnet", "policy": "swap-all", "copy_workers": 2,
+           "speedup": speedup}
+    if compute_workers is not None:
+        row["compute_workers"] = compute_workers
+    return {"bench": "async_exec", "rows": [row]}
+
+
+def test_async_exec_compute_workers_defaults_to_one():
+    # A baseline predating the multi-worker scheduler (no compute_workers
+    # field) must compare against a candidate that spells out
+    # compute_workers=1 — same key, regression still caught.
+    with tempfile.TemporaryDirectory() as tmp:
+        old = write_doc(tmp, "old.json", async_exec_doc(1.5))
+        slower = write_doc(tmp, "slower.json",
+                           async_exec_doc(0.5, compute_workers=1))
+        same = write_doc(tmp, "same.json",
+                         async_exec_doc(1.5, compute_workers=1))
+        r = run_tool(old, slower)
+        assert r.returncode == 1, (r.returncode, r.stdout, r.stderr)
+        assert "REGRESSION" in r.stdout, r.stdout
+        r = run_tool(old, same)
+        assert r.returncode == 0, (r.returncode, r.stdout, r.stderr)
+
+
+def test_async_exec_compute_worker_rows_are_distinct():
+    # compute_workers is part of the key: a 4-worker row must not be
+    # compared against (or shadow) the serial row.
+    regs = bench_compare.compare(
+        {("alexnet", "swap-all", 2, 1): {"speedup": 1.0}},
+        {("alexnet", "swap-all", 2, 4): {"speedup": 0.1}},
+        "speedup", "higher", 0.10, out=io.StringIO())
+    assert regs == [], regs
+
+
 def test_calibration_end_to_end():
     with tempfile.TemporaryDirectory() as tmp:
         base = write_doc(tmp, "base.json", calibration_doc(0.05))
